@@ -1,0 +1,31 @@
+"""Benchmark harness configuration.
+
+Each ``benchmarks/test_*.py`` regenerates one figure or table of the
+paper through ``repro.experiments``, times the regeneration with
+pytest-benchmark, prints the rows the paper reports, and asserts the
+shape checks recorded against the paper hold.
+
+The problem size defaults to the experiments' "default" (paper-shaped)
+workloads; set ``REPRO_BENCH_SIZE=small`` for a quick pass.
+"""
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_size():
+    return os.environ.get("REPRO_BENCH_SIZE", "default")
+
+
+def run_and_check(benchmark, name, size, allow_misses=0):
+    from repro.experiments.runner import run_experiment
+
+    result = benchmark.pedantic(
+        run_experiment, args=(name,), kwargs={"size": size}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    misses = [c for c in result.checks if not c["holds"]]
+    assert len(misses) <= allow_misses, misses
+    return result

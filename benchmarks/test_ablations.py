@@ -1,0 +1,113 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Beyond the paper's figures, these pin the architectural mechanisms in
+isolation so a regression in any one of them is visible directly:
+
+* coalescing (DeviceMemory coalesced vs strided),
+* shared-memory bank conflicts (TranP padded tile vs naive),
+* constant-cache broadcast (Sobel const on/off per generation),
+* texture-cache gathers (MD tex on/off per generation),
+* the degraded-allocator spill collapse (FDTD pragma a, OpenCL),
+* launch-overhead sensitivity (BFS wall vs kernel time).
+"""
+import pytest
+
+from repro.arch import GTX280, GTX480
+from repro.benchsuite import get_benchmark, host_for
+
+
+def _value(name, api, spec, size="small", **options):
+    return get_benchmark(name).run(host_for(api, spec), size=size, options=options)
+
+
+def test_coalescing_ablation(benchmark):
+    def run():
+        co = _value("DeviceMemory", "cuda", GTX280, pattern="coalesced")
+        st = _value("DeviceMemory", "cuda", GTX280, pattern="strided")
+        return co.value, st.value
+
+    co, st = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\ncoalesced {co:.1f} GB/s vs strided {st:.1f} GB/s -> {co / st:.1f}x")
+    assert co > 2 * st
+
+
+def test_bank_conflict_ablation(benchmark):
+    # the banks model directly: padded vs unpadded column access
+    import numpy as np
+
+    from repro.arch import bank_conflicts
+
+    def run():
+        ty = np.arange(16, dtype=np.int64)
+        return (
+            bank_conflicts(GTX280, (ty * 17) * 4),
+            bank_conflicts(GTX280, (ty * 16) * 4),
+        )
+
+    padded, unpadded = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\npadded tile replays {padded} vs unpadded {unpadded}")
+    assert padded == 1 and unpadded == 16
+
+
+def test_constant_cache_ablation(benchmark):
+    def run():
+        out = {}
+        for spec in (GTX280, GTX480):
+            w = _value("Sobel", "cuda", spec, use_constant=True)
+            wo = _value("Sobel", "cuda", spec, use_constant=False)
+            out[spec.name] = wo.kernel_seconds / w.kernel_seconds
+        return out
+
+    speedups = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nconstant-memory speedup: {speedups}")
+    assert speedups["GTX280"] > 1.3
+    assert speedups["GTX280"] > speedups["GTX480"]
+
+
+def test_texture_cache_ablation(benchmark):
+    def run():
+        out = {}
+        for spec in (GTX280, GTX480):
+            w = _value("MD", "cuda", spec, use_texture=True)
+            wo = _value("MD", "cuda", spec, use_texture=False)
+            out[spec.name] = w.value / wo.value
+        return out
+
+    gains = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\ntexture gain: {gains}")
+    assert all(g > 1.0 for g in gains.values())
+
+
+def test_spill_collapse_ablation(benchmark):
+    def run():
+        w = _value("FDTD", "opencl", GTX280, unroll_a=9)
+        wo = _value("FDTD", "opencl", GTX280, unroll_a=None)
+        return wo.value / w.value
+
+    slowdown = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nOpenCL pragma-a slowdown: {slowdown:.2f}x")
+    assert slowdown > 1.2
+
+
+def test_launch_overhead_ablation(benchmark):
+    def run():
+        cu = _value("BFS", "cuda", GTX480)
+        cl = _value("BFS", "opencl", GTX480)
+        return (cl.wall_seconds / cu.wall_seconds, cl.kernel_seconds / cu.kernel_seconds)
+
+    wall, kern = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nBFS wall ratio {wall:.2f} vs kernel ratio {kern:.2f}")
+    assert wall > kern  # the gap is enqueue latency, not device work
+
+
+def test_occupancy_ablation(benchmark):
+    """Register pressure -> occupancy -> time, end to end."""
+
+    def run():
+        lo = _value("DeviceMemory", "cuda", GTX280, wg=64)
+        hi = _value("DeviceMemory", "cuda", GTX280, wg=256)
+        return lo.value, hi.value
+
+    lo, hi = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nwg=64: {lo:.1f} GB/s, wg=256: {hi:.1f} GB/s")
+    assert lo > 0 and hi > 0

@@ -1,0 +1,11 @@
+"""Fig. 1 — peak device-memory bandwidth (DeviceMemory).
+
+Regenerates the experiment end to end (workload generation, both
+toolchains, simulation, shape checks against the paper's reported
+values) and reports the wall time of the regeneration.
+"""
+from conftest import run_and_check
+
+
+def test_fig1(benchmark, bench_size):
+    run_and_check(benchmark, "fig1", bench_size, allow_misses=0)

@@ -1,0 +1,11 @@
+"""Fig. 2 — peak floating-point throughput (MaxFlops).
+
+Regenerates the experiment end to end (workload generation, both
+toolchains, simulation, shape checks against the paper's reported
+values) and reports the wall time of the regeneration.
+"""
+from conftest import run_and_check
+
+
+def test_fig2(benchmark, bench_size):
+    run_and_check(benchmark, "fig2", bench_size, allow_misses=0)

@@ -1,0 +1,11 @@
+"""Fig. 3 — PR of all real-world benchmarks on both GPUs.
+
+Regenerates the experiment end to end (workload generation, both
+toolchains, simulation, shape checks against the paper's reported
+values) and reports the wall time of the regeneration.
+"""
+from conftest import run_and_check
+
+
+def test_fig3(benchmark, bench_size):
+    run_and_check(benchmark, "fig3", bench_size, allow_misses=0)

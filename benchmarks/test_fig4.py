@@ -1,0 +1,11 @@
+"""Fig. 4 — texture-memory impact on CUDA MD/SPMV.
+
+Regenerates the experiment end to end (workload generation, both
+toolchains, simulation, shape checks against the paper's reported
+values) and reports the wall time of the regeneration.
+"""
+from conftest import run_and_check
+
+
+def test_fig4(benchmark, bench_size):
+    run_and_check(benchmark, "fig4", bench_size, allow_misses=0)

@@ -1,0 +1,11 @@
+"""Fig. 5 — PR before/after removing texture memory.
+
+Regenerates the experiment end to end (workload generation, both
+toolchains, simulation, shape checks against the paper's reported
+values) and reports the wall time of the regeneration.
+"""
+from conftest import run_and_check
+
+
+def test_fig5(benchmark, bench_size):
+    run_and_check(benchmark, "fig5", bench_size, allow_misses=0)

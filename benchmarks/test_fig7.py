@@ -1,0 +1,11 @@
+"""Fig. 7 — FDTD unroll points, CUDA vs OpenCL.
+
+Regenerates the experiment end to end (workload generation, both
+toolchains, simulation, shape checks against the paper's reported
+values) and reports the wall time of the regeneration.
+"""
+from conftest import run_and_check
+
+
+def test_fig7(benchmark, bench_size):
+    run_and_check(benchmark, "fig7", bench_size, allow_misses=0)

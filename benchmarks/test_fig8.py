@@ -1,0 +1,11 @@
+"""Fig. 8 — Sobel constant-memory impact per GPU.
+
+Regenerates the experiment end to end (workload generation, both
+toolchains, simulation, shape checks against the paper's reported
+values) and reports the wall time of the regeneration.
+"""
+from conftest import run_and_check
+
+
+def test_fig8(benchmark, bench_size):
+    run_and_check(benchmark, "fig8", bench_size, allow_misses=0)

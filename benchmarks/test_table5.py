@@ -1,0 +1,11 @@
+"""Table V — PTX instruction statistics for the FFT kernel.
+
+Regenerates the experiment end to end (workload generation, both
+toolchains, simulation, shape checks against the paper's reported
+values) and reports the wall time of the regeneration.
+"""
+from conftest import run_and_check
+
+
+def test_table5(benchmark, bench_size):
+    run_and_check(benchmark, "table5", bench_size, allow_misses=0)

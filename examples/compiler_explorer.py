@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Compiler explorer: one kernel source, two PTX outputs (Table V).
+
+Renders the FFT "forward" kernel in both dialects, compiles it through
+NVOPENCC and CLC, prints both PTX listings side by side with the
+instruction histogram of the paper's Table V, and explains where each
+asymmetry comes from.
+
+Run:  python examples/compiler_explorer.py [--full]
+"""
+import sys
+
+from repro.benchsuite.apps.fft import _forward_kernel
+from repro.compiler import compile_cuda, compile_opencl
+from repro.kir import CUDA, OPENCL, render
+from repro.ptx import format_kernel, histogram, table
+
+
+def main():
+    full = "--full" in sys.argv
+    kc_src = _forward_kernel(CUDA)
+    ko_src = _forward_kernel(OPENCL)
+    print("=== shared kernel source (CUDA spelling) ===")
+    print(render(kc_src))
+    print()
+    kc = compile_cuda(kc_src)
+    ko = compile_opencl(ko_src)
+    print("=== Table V: static PTX instruction statistics ===")
+    print(table(kc, ko))
+    print()
+    hc, ho = histogram(kc), histogram(ko)
+    print("where the asymmetries come from:")
+    print(
+        f"  mov {hc['mov']} vs {ho.get('mov', 0)}: NVOPENCC's two-address, "
+        "home-register emission (ptxas renames them away in SASS)"
+    )
+    print(
+        f"  shl {hc.get('shl', 0)} vs {ho.get('shl', 0)}: CLC computes "
+        "addresses with shift+add; NVOPENCC folds them into mad"
+    )
+    print(
+        f"  div {hc.get('div', 0)} vs {ho.get('div', 0)}: NVOPENCC's "
+        "constant propagation resolves the unrolled Stockham counters, "
+        "so u/m strength-reduces; CLC leaves real divisions"
+    )
+    print(
+        f"  bra {hc.get('bra', 0)} vs {ho.get('bra', 0)}: NVOPENCC "
+        "predicates the twiddle shortcut; CLC branches"
+    )
+    same = [
+        k
+        for k in ("ld.global", "st.global", "ld.shared", "st.shared", "bar")
+        if hc.get(k, 0) == ho.get(k, 0)
+    ]
+    print(f"  identical (as in the paper): {', '.join(same)}")
+    if full:
+        print("\n=== NVOPENCC PTX ===")
+        print(format_kernel(kc))
+        print("\n=== CLC PTX ===")
+        print(format_kernel(ko))
+    else:
+        print("\n(pass --full to dump both PTX listings)")
+
+
+if __name__ == "__main__":
+    main()

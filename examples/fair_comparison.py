@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""The eight-step fair-comparison methodology, on the Sobel benchmark.
+
+Reproduces the paper's §IV-B.3/§IV-C reasoning as executable code:
+
+1. run Sobel as shipped (OpenCL keeps the filter in constant memory,
+   CUDA does not) on both GPU generations;
+2. audit the comparison against the eight steps of Fig. 9 — the audit
+   flags step 4 (native kernel optimizations) as unequal;
+3. equalize step 4 and re-run: the comparison becomes fair and the PR
+   returns to the similarity band;
+4. run the automated gap attribution on MD, whose gap comes from the
+   texture-memory programming-model difference instead.
+
+Run:  python examples/fair_comparison.py
+"""
+from repro.arch import GTX280, GTX480
+from repro.core import attribute_gap, compare
+
+
+def main():
+    for spec in (GTX280, GTX480):
+        print(f"===== Sobel on {spec.name} =====")
+        shipped = compare("Sobel", spec, size="small")
+        print(f"as shipped:    PR = {shipped.pr.pr:.3f}  ({shipped.pr.verdict})")
+        print(f"fair per Fig. 9? {shipped.fair}")
+        for f in shipped.fairness:
+            print(f"  differs at {f}")
+        equalized = compare(
+            "Sobel", spec, size="small", cuda_options={"use_constant": True}
+        )
+        print(
+            f"after equalizing step 4 (constant memory in both): "
+            f"PR = {equalized.pr.pr:.3f}  fair? {equalized.fair}"
+        )
+        print()
+
+    print("===== automated gap attribution: MD on GTX280 =====")
+    print(attribute_gap("MD", GTX280).report())
+    print()
+    print("===== automated gap attribution: FFT on GTX480 =====")
+    print(attribute_gap("FFT", GTX480).report())
+    print()
+    print(
+        "Conclusion (the paper's): under a fair comparison there is no\n"
+        "fundamental reason for OpenCL to perform worse than CUDA —\n"
+        "remaining gaps trace to programmers (steps 1-4), compilers\n"
+        "(steps 5-6), or users (steps 7-8)."
+    )
+
+
+if __name__ == "__main__":
+    main()

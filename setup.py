@@ -1,0 +1,5 @@
+from setuptools import setup
+
+# Shim for environments without the `wheel` package (no-network installs):
+# enables `pip install -e . --no-use-pep517 --no-build-isolation`.
+setup()

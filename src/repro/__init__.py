@@ -1,0 +1,16 @@
+"""repro — reproduction of "A Comprehensive Performance Comparison of
+CUDA and OpenCL" (Fang, Varbanescu, Sips; ICPP 2011) on a fully
+simulated GPU substrate.
+
+Layers (bottom up): :mod:`repro.kir` (kernel IR + dialects),
+:mod:`repro.ptx` (virtual ISA), :mod:`repro.compiler` (NVOPENCC / CLC
+front ends + PTXAS), :mod:`repro.arch` (device models),
+:mod:`repro.sim` (SIMT functional+timing simulator),
+:mod:`repro.runtime` (CUDA and OpenCL host APIs),
+:mod:`repro.benchsuite` (the 16 benchmarks of Table II),
+:mod:`repro.core` (PR metric, fair-comparison methodology, attribution),
+:mod:`repro.experiments` (per-figure/table harness).
+"""
+from ._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,38 @@
+"""Shared-memory bank-conflict model.
+
+GT200 resolves shared accesses per half-warp over 16 banks of 4 bytes;
+Fermi per full warp over 32 banks.  The cost of a warp shared access is
+its worst per-bank replay count (same-address broadcast is free).
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from .specs import DeviceSpec
+
+__all__ = ["bank_conflicts"]
+
+
+def _conflicts(addrs: np.ndarray, banks: int) -> int:
+    if addrs.size == 0:
+        return 0
+    words = addrs // 4
+    bank = words % banks
+    worst = 1
+    for b in np.unique(bank):
+        sel = words[bank == b]
+        distinct = np.unique(sel).size  # same word broadcasts
+        worst = max(worst, distinct)
+    return worst
+
+
+def bank_conflicts(spec: DeviceSpec, addrs: np.ndarray) -> int:
+    """Replay factor (>= 1) for one warp's shared-memory access."""
+    if spec.architecture == "gt200":
+        worst = 1
+        for lo in range(0, addrs.size, 16):
+            worst = max(worst, _conflicts(addrs[lo : lo + 16], 16))
+        return worst
+    if spec.architecture in ("fermi", "cypress"):
+        return _conflicts(addrs, 32)
+    return 1  # CPU / Cell: no banked SRAM semantics

@@ -1,0 +1,94 @@
+"""Cache models: texture cache, constant cache, Fermi L1/L2.
+
+Set-associative LRU caches over *line base addresses* (the coalescer has
+already resolved lane addresses into segments).  The architectural story
+these implement:
+
+* GT200 has **no** cache over plain global loads — its only cached read
+  paths are the constant cache (broadcast, per-SM) and the texture cache
+  (spatial reuse for irregular gathers).  This is why the paper's Sobel
+  flips between GPUs (Fig. 8) and why texture memory matters so much for
+  MD/SPMV (Fig. 4).
+* Fermi adds a real L1/L2 hierarchy over global loads, which levels the
+  constant-memory difference and halves texture's advantage.
+"""
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["LRUCache", "CacheStats", "null_cache"]
+
+
+class CacheStats:
+    __slots__ = ("hits", "misses")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        a = self.accesses
+        return self.hits / a if a else 0.0
+
+
+class LRUCache:
+    """Set-associative LRU cache keyed by line base address."""
+
+    def __init__(self, capacity_bytes: int, line_bytes: int, ways: int = 4):
+        self.line = max(line_bytes, 1)
+        self.ways = ways
+        self.sets = max(1, capacity_bytes // (self.line * ways))
+        self._data: list[OrderedDict] = [OrderedDict() for _ in range(self.sets)]
+        self.stats = CacheStats()
+
+    def access(self, base: int) -> bool:
+        """Touch one line; True on hit.  Misses fill the line."""
+        line_id = base // self.line
+        s = self._data[line_id % self.sets]
+        if line_id in s:
+            s.move_to_end(line_id)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        s[line_id] = True
+        if len(s) > self.ways:
+            s.popitem(last=False)
+        return False
+
+    def access_many(self, bases: np.ndarray) -> int:
+        """Touch several lines; returns the number of hits."""
+        return sum(1 for b in bases.tolist() if self.access(b))
+
+    def invalidate(self) -> None:
+        for s in self._data:
+            s.clear()
+
+
+class _NullCache:
+    """Cache-less read path (GT200 global loads): everything misses."""
+
+    line = 1
+
+    def __init__(self) -> None:
+        self.stats = CacheStats()
+
+    def access(self, base: int) -> bool:
+        self.stats.misses += 1
+        return False
+
+    def access_many(self, bases: np.ndarray) -> int:
+        self.stats.misses += int(bases.size)
+        return 0
+
+    def invalidate(self) -> None:  # pragma: no cover - nothing to clear
+        pass
+
+
+def null_cache() -> _NullCache:
+    return _NullCache()

@@ -1,0 +1,30 @@
+"""Theoretical peak calculators — Equations (2) and (3) of the paper.
+
+.. math::
+
+    TP_{BW}    = MC \\cdot (MIW/8) \\cdot 2 \\cdot 10^{-9}  \\ [GB/s]
+
+    TP_{FLOPS} = CC \\cdot \\#Cores \\cdot R \\cdot 10^{-9}  \\ [GFlops/s]
+
+where ``MC`` is the memory clock (DDR doubling applied by the factor 2),
+``MIW`` the memory interface width in bits, ``CC`` the core clock and
+``R`` the per-core per-cycle flop count (3 on GT200 via dual-issued
+mul+mad, 2 on Fermi).
+"""
+from __future__ import annotations
+
+from .specs import DeviceSpec
+
+__all__ = ["theoretical_bandwidth_gbs", "theoretical_flops_gfs"]
+
+
+def theoretical_bandwidth_gbs(spec: DeviceSpec) -> float:
+    """Equation (2): theoretical peak bandwidth in GB/s."""
+    return spec.mem_clock_mhz * 1e6 * (spec.miw_bits / 8) * 2 * 1e-9
+
+
+def theoretical_flops_gfs(spec: DeviceSpec) -> float:
+    """Equation (3): theoretical peak GFlops/s."""
+    return (
+        spec.core_clock_mhz * 1e6 * spec.cores * spec.flops_per_core_cycle * 1e-9
+    )

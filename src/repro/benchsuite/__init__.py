@@ -1,0 +1,17 @@
+"""The 16-benchmark suite of Table II, plus infrastructure."""
+from .base import Benchmark, BenchResult, CudaHost, HostAPI, Metric, OpenCLHost, host_for
+from .registry import REAL_WORLD, REGISTRY, SYNTHETIC, TABLE2, get_benchmark
+
+__all__ = [
+    "Benchmark",
+    "BenchResult",
+    "HostAPI",
+    "CudaHost",
+    "OpenCLHost",
+    "host_for",
+    "REGISTRY",
+    "TABLE2",
+    "REAL_WORLD",
+    "SYNTHETIC",
+    "get_benchmark",
+]

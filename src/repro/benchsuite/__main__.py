@@ -1,0 +1,58 @@
+"""CLI: run benchmarks directly.
+
+    python -m repro.benchsuite Sobel FFT --device GTX280 --api both
+    python -m repro.benchsuite --all --device GTX480 --size small
+"""
+from __future__ import annotations
+
+import argparse
+
+from ..arch.specs import ALL_DEVICES
+from .base import host_for
+from .registry import REAL_WORLD, REGISTRY, SYNTHETIC, get_benchmark
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.benchsuite",
+        description="Run Table II benchmarks on the simulated devices",
+    )
+    ap.add_argument("names", nargs="*", help=f"benchmarks: {', '.join(REGISTRY)}")
+    ap.add_argument("--all", action="store_true", help="run every benchmark")
+    ap.add_argument("--device", default="GTX480", choices=sorted(ALL_DEVICES))
+    ap.add_argument("--api", default="both", choices=["cuda", "opencl", "both"])
+    ap.add_argument("--size", default="default", choices=["small", "default"])
+    args = ap.parse_args(argv)
+
+    names = (SYNTHETIC + REAL_WORLD) if args.all else args.names
+    if not names:
+        ap.error("give benchmark names or --all")
+    spec = ALL_DEVICES[args.device]
+    apis = ["cuda", "opencl"] if args.api == "both" else [args.api]
+    if "cuda" in apis and not spec.supports_cuda():
+        print(f"note: {spec.name} is not CUDA-capable; running OpenCL only")
+        apis = ["opencl"]
+
+    print(f"{'benchmark':10s} {'api':7s} {'value':>12s} {'unit':14s} "
+          f"{'kernel':>10s} {'status':6s}")
+    print("-" * 66)
+    rc = 0
+    for name in names:
+        for api in apis:
+            r = get_benchmark(name).run(host_for(api, spec), size=args.size)
+            status = "ok" if r.ok() else (r.failure or "FL")
+            if not r.ok():
+                rc = 1
+            kern = "-" if r.kernel_seconds != r.kernel_seconds else (
+                f"{r.kernel_seconds * 1e6:.1f}us"
+            )
+            val = "-" if r.value != r.value else f"{r.value:.4g}"
+            print(
+                f"{name:10s} {api:7s} {val:>12s} {r.unit:14s} "
+                f"{kern:>10s} {status:6s}"
+            )
+    return rc
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

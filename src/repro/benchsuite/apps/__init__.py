@@ -1,0 +1,1 @@
+"""Real-world applications of Table II."""

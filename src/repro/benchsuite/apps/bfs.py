@@ -1,0 +1,163 @@
+"""BFS — frontier-based breadth-first search (Rodinia, Table II).
+
+Rodinia's two-kernel formulation: kernel 1 expands the current frontier
+(mask arrays, benign write races on the "updating" flags); kernel 2
+promotes updated nodes into the next frontier and raises a device flag.
+The host iterates — one kernel pair plus a flag read-back per BFS level.
+
+Because the per-level device work is small, total time is dominated by
+per-launch overhead, and OpenCL's larger, size-dependent launch latency
+(§IV-B.4) makes BFS one of the benchmarks where OpenCL loses end to end.
+The metric is therefore *total* wall time, as in the paper.
+"""
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ...kir import KernelBuilder, Scalar
+from ..base import Benchmark, BenchResult, HostAPI, Metric
+from ..data import layered_graph
+
+__all__ = ["BFS", "bfs_reference"]
+
+WG = 256
+
+
+def _kernel1(dialect):
+    k = KernelBuilder("bfs_expand", dialect, wg_hint=WG)
+    rowptr = k.buffer("rowptr", Scalar.S32)
+    cols = k.buffer("cols", Scalar.S32)
+    frontier = k.buffer("frontier", Scalar.S32)
+    updating = k.buffer("updating", Scalar.S32)
+    visited = k.buffer("visited", Scalar.S32)
+    cost = k.buffer("cost", Scalar.S32)
+    n = k.scalar("n", Scalar.S32)
+    tid = k.let("tid", k.global_id(0), Scalar.S32)
+    with k.if_((tid < n).logical_and(frontier[tid].eq(1))):
+        k.store(frontier, tid, 0)
+        myc = k.let("myc", cost[tid])
+        lo = k.let("lo", rowptr[tid])
+        hi = k.let("hi", rowptr[tid + 1])
+        with k.for_("e", lo, hi) as e:
+            nb = k.let("nb", cols[e])
+            with k.if_(visited[nb].eq(0)):
+                k.store(cost, nb, myc + 1)
+                k.store(updating, nb, 1)
+    return k.finish()
+
+
+def _kernel2(dialect):
+    k = KernelBuilder("bfs_promote", dialect, wg_hint=WG)
+    frontier = k.buffer("frontier", Scalar.S32)
+    updating = k.buffer("updating", Scalar.S32)
+    visited = k.buffer("visited", Scalar.S32)
+    over = k.buffer("over", Scalar.S32)
+    n = k.scalar("n", Scalar.S32)
+    tid = k.let("tid", k.global_id(0), Scalar.S32)
+    with k.if_((tid < n).logical_and(updating[tid].eq(1))):
+        k.store(frontier, tid, 1)
+        k.store(visited, tid, 1)
+        k.store(updating, tid, 0)
+        k.store(over, 0, 1)
+    return k.finish()
+
+
+def bfs_reference(rowptr: np.ndarray, cols: np.ndarray, n: int, src: int = 0):
+    cost = np.full(n, -1, dtype=np.int32)
+    cost[src] = 0
+    q = deque([src])
+    while q:
+        u = q.popleft()
+        for e in range(rowptr[u], rowptr[u + 1]):
+            v = cols[e]
+            if cost[v] < 0:
+                cost[v] = cost[u] + 1
+                q.append(v)
+    return cost
+
+
+class BFS(Benchmark):
+    name = "BFS"
+    metric = Metric("sec", higher_is_better=False)
+
+    def kernels(self, dialect, options, defines, params):
+        return [_kernel1(dialect), _kernel2(dialect)]
+
+    def sizes(self):
+        return {
+            "small": {"levels": 6, "width": 128},
+            "default": {"levels": 24, "width": 192},
+        }
+
+    def host_run(self, api: HostAPI, params, options) -> BenchResult:
+        rowptr, cols, n = layered_graph(params["levels"], params["width"], seed=9)
+        d = {
+            "rowptr": (rowptr, Scalar.S32),
+            "cols": (cols, Scalar.S32),
+        }
+        bufs = {}
+        for name, (arr, elem) in d.items():
+            bufs[name] = api.alloc(len(arr), elem)
+            api.write(bufs[name], arr)
+        frontier = np.zeros(n, dtype=np.int32)
+        visited = np.zeros(n, dtype=np.int32)
+        cost = np.zeros(n, dtype=np.int32)
+        frontier[0] = 1
+        visited[0] = 1
+        for name, arr in (
+            ("frontier", frontier),
+            ("updating", np.zeros(n, dtype=np.int32)),
+            ("visited", visited),
+            ("cost", cost),
+            ("over", np.zeros(1, dtype=np.int32)),
+        ):
+            bufs[name] = api.alloc(len(arr), Scalar.S32)
+            api.write(bufs[name], arr)
+
+        api.reset_clock()
+        kernel_secs = 0.0
+        iterations = 0
+        while True:
+            api.write(bufs["over"], np.zeros(1, dtype=np.int32))
+            kernel_secs += api.launch(
+                "bfs_expand",
+                n,
+                WG,
+                rowptr=bufs["rowptr"],
+                cols=bufs["cols"],
+                frontier=bufs["frontier"],
+                updating=bufs["updating"],
+                visited=bufs["visited"],
+                cost=bufs["cost"],
+                n=n,
+            )
+            kernel_secs += api.launch(
+                "bfs_promote",
+                n,
+                WG,
+                frontier=bufs["frontier"],
+                updating=bufs["updating"],
+                visited=bufs["visited"],
+                over=bufs["over"],
+                n=n,
+            )
+            iterations += 1
+            if int(api.read(bufs["over"], 1)[0]) == 0:
+                break
+            if iterations > n:  # pragma: no cover - safety net
+                raise RuntimeError("BFS failed to converge")
+        total = api.elapsed()
+        got = api.read(bufs["cost"], n)
+        ref = bfs_reference(rowptr, cols, n)
+        reached = ref >= 0
+        ok = bool(np.array_equal(got[reached], ref[reached]))
+        return self.result(
+            api,
+            total,
+            kernel_secs,
+            ok,
+            wall=total,
+            detail={"levels": iterations, "nodes": n},
+        )

@@ -1,0 +1,224 @@
+"""FDTD — finite-difference time-domain stencil sweep (NVIDIA SDK).
+
+The SDK's FDTD3d structure: 2D thread blocks tile the xy-plane, the
+kernel marches through z keeping a register window of the +-RADIUS
+z-neighbors and staging each plane's xy-neighborhood in a shared tile.
+
+The two unroll pragmas of the paper's §IV-B.2 listing are faithfully
+reproduced:
+
+* point **a** — ``#pragma unroll 9`` on the z-march loop (the SDK's CUDA
+  code has it; its OpenCL port does not);
+* point **b** — ``#pragma unroll`` on the radius loop (both have it).
+
+Figs. 6 and 7 toggle these via ``options["unroll_a"]``/``unroll_b``:
+removing *a* costs CUDA ~15%, while *adding* *a* to the OpenCL build
+makes CLC's allocator collapse on the 9x-unrolled body (spills), the
+paper's most dramatic compiler finding.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from ...kir import KernelBuilder, Scalar, UNROLL_FULL
+from ..base import Benchmark, BenchResult, HostAPI, Metric
+
+__all__ = ["FDTD", "RADIUS", "COEFFS"]
+
+B = 16
+RADIUS = 3
+TW = B + 2 * RADIUS  # shared tile width
+#: symmetric stencil coefficients c0..cR
+COEFFS = (0.50, 0.16, 0.09, 0.05)
+
+
+def _kernel(dialect, unroll_a, unroll_b, dimz_const: int):
+    """Build the FDTD kernel.
+
+    ``unroll_a``: factor for the z loop (None = no pragma, as the SDK's
+    OpenCL version shipped); ``unroll_b``: factor for the radius loop
+    (UNROLL_FULL in both shipped versions).  ``dimz_const`` is baked in
+    at build time (the SDK's FDTD3d compiles dimz as a macro too, which
+    is what makes ``#pragma unroll 9`` legal on the z loop).
+    """
+    k = KernelBuilder("fdtd_step", dialect, wg_hint=B * B)
+    inp = k.buffer("inp", Scalar.F32)  # padded (dimz+2R) x (ny+2R) x (nx+2R)
+    out = k.buffer("out", Scalar.F32)  # dimz x ny x nx
+    # stencil coefficients live in constant memory in both versions, as
+    # in the SDK's FDTD3d (broadcast reads; a plain global buffer would
+    # partition-camp on GT200)
+    from ...kir import AddrSpace
+
+    coef = k.buffer("coef", Scalar.F32, AddrSpace.CONST)
+    nx = k.scalar("nx", Scalar.S32)
+    ny = k.scalar("ny", Scalar.S32)
+    dimz = dimz_const
+    tile = k.shared("tile", Scalar.F32, TW * TW)
+    tx = k.let("tx", k.tid.x, Scalar.S32)
+    ty = k.let("ty", k.tid.y, Scalar.S32)
+    x = k.let("x", k.ctaid.x * B + tx, Scalar.S32)
+    y = k.let("y", k.ctaid.y * B + ty, Scalar.S32)
+    psx = k.let("psx", nx + 2 * RADIUS)
+    psy = k.let("psy", ny + 2 * RADIUS)
+    plane = k.let("plane", psx * psy)
+    # padded in-plane index of this thread's column
+    pidx = k.let("pidx", (y + RADIUS) * psx + (x + RADIUS))
+
+    # register window over z: behind_R..behind_1, current, front_1..front_R
+    behind = [
+        k.let(f"behind{i}", inp[(RADIUS - i) * plane + pidx])
+        for i in range(RADIUS, 0, -1)
+    ]  # behind[0] = behind_R ... behind[-1] = behind_1
+    current = k.let("current", inp[RADIUS * plane + pidx])
+    front = [
+        k.let(f"front{i}", inp[(RADIUS + i) * plane + pidx])
+        for i in range(1, RADIUS + 1)
+    ]
+
+    ua = None if unroll_a is None else k.unroll(unroll_a, point="a")
+    with k.for_("iz", 0, dimz, unroll=ua) as iz:
+        # stage the current plane's neighborhood
+        k.store(tile, (ty + RADIUS) * TW + tx + RADIUS, current)
+        inbase = k.let("inbase", (iz + RADIUS) * plane)
+        with k.if_(tx < RADIUS):
+            k.store(
+                tile,
+                (ty + RADIUS) * TW + tx,
+                inp[inbase + (y + RADIUS) * psx + x],
+            )
+        with k.if_(tx >= B - RADIUS):
+            k.store(
+                tile,
+                (ty + RADIUS) * TW + tx + 2 * RADIUS,
+                inp[inbase + (y + RADIUS) * psx + (x + 2 * RADIUS)],
+            )
+        with k.if_(ty < RADIUS):
+            k.store(
+                tile,
+                ty * TW + tx + RADIUS,
+                inp[inbase + y * psx + (x + RADIUS)],
+            )
+        with k.if_(ty >= B - RADIUS):
+            k.store(
+                tile,
+                (ty + 2 * RADIUS) * TW + tx + RADIUS,
+                inp[inbase + (y + 2 * RADIUS) * psx + (x + RADIUS)],
+            )
+        k.barrier()
+        acc = k.let("acc", current * COEFFS[0], Scalar.F32)
+        ub = None if unroll_b is None else k.unroll(unroll_b, point="b")
+        with k.for_("rr", 1, RADIUS + 1, unroll=ub) as rr:
+            cv = k.let("cv", coef[rr])
+            k.assign(
+                acc,
+                acc
+                + cv
+                * (
+                    tile[(ty + RADIUS) * TW + tx + RADIUS - rr]
+                    + tile[(ty + RADIUS) * TW + tx + RADIUS + rr]
+                    + tile[(ty + RADIUS - rr) * TW + tx + RADIUS]
+                    + tile[(ty + RADIUS + rr) * TW + tx + RADIUS]
+                ),
+            )
+        # z-direction contributions from the register window
+        for i in range(1, RADIUS + 1):
+            k.assign(
+                acc, acc + COEFFS[i] * (front[i - 1] + behind[RADIUS - i])
+            )
+        k.store(out, iz * nx * ny + y * nx + x, acc)
+        # slide the window one plane forward
+        for i in range(RADIUS - 1):
+            k.assign(behind[i], behind[i + 1])
+        k.assign(behind[RADIUS - 1], current)
+        k.assign(current, front[0])
+        for i in range(RADIUS - 1):
+            k.assign(front[i], front[i + 1])
+        k.assign(
+            front[RADIUS - 1],
+            inp[(iz + 1 + 2 * RADIUS) * plane + pidx],
+        )
+        k.barrier()
+    return k.finish()
+
+
+def fdtd_reference(vol: np.ndarray, dimz: int, ny: int, nx: int) -> np.ndarray:
+    """vol: padded (dimz+2R, ny+2R, nx+2R) volume."""
+    out = np.zeros((dimz, ny, nx), dtype=np.float32)
+    R = RADIUS
+    for z in range(dimz):
+        acc = COEFFS[0] * vol[z + R, R : R + ny, R : R + nx]
+        for r in range(1, R + 1):
+            acc = acc + COEFFS[r] * (
+                vol[z + R, R : R + ny, R - r : R - r + nx]
+                + vol[z + R, R : R + ny, R + r : R + r + nx]
+                + vol[z + R, R - r : R - r + ny, R : R + nx]
+                + vol[z + R, R + r : R + r + ny, R : R + nx]
+                + vol[z + R - r, R : R + ny, R : R + nx]
+                + vol[z + R + r, R : R + ny, R : R + nx]
+            )
+        out[z] = acc.astype(np.float32)
+    return out
+
+
+class FDTD(Benchmark):
+    name = "FDTD"
+    metric = Metric("MPoints/sec")
+    #: as shipped (paper §IV-B.2): CUDA has the pragma at point a,
+    #: the OpenCL port only at point b
+    default_options = {
+        "unroll_a": {"cuda": 9, "opencl": None},
+        "unroll_b": UNROLL_FULL,
+    }
+
+    def kernels(self, dialect, options, defines, params):
+        return [
+            _kernel(
+                dialect, options["unroll_a"], options["unroll_b"], params["dimz"]
+            )
+        ]
+
+    def sizes(self):
+        return {
+            "small": {"nx": 32, "ny": 32, "dimz": 18},
+            "default": {"nx": 64, "ny": 64, "dimz": 18},
+        }
+
+    def host_run(self, api: HostAPI, params, options) -> BenchResult:
+        nx, ny, dimz = params["nx"], params["ny"], params["dimz"]
+        R = RADIUS
+        rng = np.random.default_rng(43)
+        vol = np.zeros((dimz + 2 * R, ny + 2 * R, nx + 2 * R), dtype=np.float32)
+        vol[R : R + dimz, R : R + ny, R : R + nx] = rng.uniform(
+            -1, 1, (dimz, ny, nx)
+        ).astype(np.float32)
+        # pad one extra plane so the window pre-load never reads past
+        padded = np.concatenate([vol, np.zeros_like(vol[:1])])
+        d_in = api.alloc(padded.size)
+        d_out = api.alloc(dimz * ny * nx)
+        d_coef = api.alloc(len(COEFFS))
+        api.write(d_in, padded.reshape(-1))
+        api.write(d_coef, np.asarray(COEFFS, dtype=np.float32))
+        secs = api.launch(
+            "fdtd_step",
+            (nx, ny),
+            (B, B),
+            inp=d_in,
+            out=d_out,
+            coef=d_coef,
+            nx=nx,
+            ny=ny,
+        )
+        got = api.read(d_out, dimz * ny * nx).reshape(dimz, ny, nx)
+        ref = fdtd_reference(vol, dimz, ny, nx)
+        ok = np.allclose(got, ref, rtol=1e-3, atol=1e-3)
+        mpoints = dimz * ny * nx / secs / 1e6
+        return self.result(
+            api,
+            mpoints,
+            secs,
+            ok,
+            detail={
+                "unroll_a": options["unroll_a"],
+                "unroll_b": options["unroll_b"],
+            },
+        )

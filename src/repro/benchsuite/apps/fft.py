@@ -1,0 +1,138 @@
+"""FFT — batched 512-point radix-2 Stockham FFT (SHOC-style).
+
+This is the paper's compiler showcase (§IV-B.4, Table V): the CUDA and
+OpenCL kernels are *the same source* — a stage loop carrying the
+``l``/``m`` counters with an explicit ``#pragma unroll`` — yet the two
+front ends produce wildly different code.  NVOPENCC's constant
+propagation resolves the unrolled counters, turning the per-butterfly
+index math (``u/m``, ``u%m``) into shifts and constants; CLC unrolls
+but leaves the counters live, so every butterfly executes real integer
+division/remainder and twiddle-index arithmetic.  That instruction-mix
+difference is Table V, and the resulting slowdown is why FFT shows the
+largest PR gap in Fig. 3.
+
+Each work-group transforms one 512-point signal held in shared memory
+(ping-pong halves), 256 threads = one butterfly per thread per stage.
+"""
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ...kir import KernelBuilder, Scalar
+from ..base import Benchmark, BenchResult, HostAPI, Metric
+
+__all__ = ["FFT", "N_POINTS"]
+
+N_POINTS = 512
+THREADS = N_POINTS // 2
+STAGES = 9
+#: standard FFT cost model: 5 N log2 N flops per transform
+FLOPS_PER_TRANSFORM = 5 * N_POINTS * STAGES
+
+
+def _forward_kernel(dialect):
+    k = KernelBuilder("forward", dialect, wg_hint=THREADS)
+    re_in = k.buffer("re_in", Scalar.F32)
+    im_in = k.buffer("im_in", Scalar.F32)
+    re_out = k.buffer("re_out", Scalar.F32)
+    im_out = k.buffer("im_out", Scalar.F32)
+    sre = k.shared("sre", Scalar.F32, 2 * N_POINTS)
+    sim_ = k.shared("sim", Scalar.F32, 2 * N_POINTS)
+    u = k.let("u", k.tid.x, Scalar.S32)
+    base = k.let("base", k.ctaid.x * N_POINTS, Scalar.S32)
+    # load both halves into ping buffer (offset 0)
+    k.store(sre, u, re_in[base + u])
+    k.store(sim_, u, im_in[base + u])
+    k.store(sre, u + THREADS, re_in[base + u + THREADS])
+    k.store(sim_, u + THREADS, im_in[base + u + THREADS])
+    k.barrier()
+    # Stockham stage counters, updated as the stage loop runs: after the
+    # pragma unroll NVOPENCC constant-propagates them; CLC does not.
+    l = k.let("l", THREADS)  # halves each stage
+    m = k.let("m", 1)  # doubles each stage
+    pin = k.let("pin", 0)  # ping-pong input offset
+    with k.for_("s", 0, STAGES, unroll=k.unroll(point="stages")) as s:
+        j = k.let("j", u / m)
+        kk = k.let("kk", u % m)
+        # j == 0 twiddle shortcut (w = 1): a standard FFT optimization.
+        # NVOPENCC predicates the small body; CLC emits setp/bra pairs —
+        # part of the Table V flow-control asymmetry.
+        wr = k.let("wr", 1.0, Scalar.F32)
+        wi = k.let("wi", 0.0, Scalar.F32)
+        with k.if_(j > 0):
+            theta = k.let(
+                f"theta", -math.pi * k.i2f(j) / k.i2f(l), Scalar.F32
+            )
+            k.assign(wr, k.cos(theta))
+            k.assign(wi, k.sin(theta))
+        a = k.let("a", pin + kk + j * m)
+        c0r = k.let("c0r", sre[a])
+        c0i = k.let("c0i", sim_[a])
+        c1r = k.let("c1r", sre[a + THREADS])
+        c1i = k.let("c1i", sim_[a + THREADS])
+        pout = k.let("pout", N_POINTS - pin)
+        o = k.let("o", pout + kk + 2 * j * m)
+        k.store(sre, o, c0r + c1r)
+        k.store(sim_, o, c0i + c1i)
+        dr = k.let("dr", c0r - c1r)
+        di = k.let("di", c0i - c1i)
+        k.store(sre, o + m, wr * dr - wi * di)
+        k.store(sim_, o + m, wr * di + wi * dr)
+        k.barrier()
+        k.assign(l, l / 2)
+        k.assign(m, m * 2)
+        k.assign(pin, N_POINTS - pin)
+    # after 9 stages the result sits at offset (9 % 2) * N = N
+    fin = k.let("fin", pin)
+    k.store(re_out, base + u, sre[fin + u])
+    k.store(im_out, base + u, sim_[fin + u])
+    k.store(re_out, base + u + THREADS, sre[fin + u + THREADS])
+    k.store(im_out, base + u + THREADS, sim_[fin + u + THREADS])
+    return k.finish()
+
+
+class FFT(Benchmark):
+    name = "FFT"
+    metric = Metric("GFlops/sec")
+    default_options = {"batch": None}  # None -> size-defined
+
+    def kernels(self, dialect, options, defines, params):
+        return [_forward_kernel(dialect)]
+
+    def sizes(self):
+        return {
+            "small": {"batch": 2},
+            "default": {"batch": 24},
+        }
+
+    def host_run(self, api: HostAPI, params, options) -> BenchResult:
+        batch = options["batch"] or params["batch"]
+        n = batch * N_POINTS
+        rng = np.random.default_rng(23)
+        re = rng.uniform(-1, 1, n).astype(np.float32)
+        im = rng.uniform(-1, 1, n).astype(np.float32)
+        d_re = api.alloc(n)
+        d_im = api.alloc(n)
+        d_ro = api.alloc(n)
+        d_io = api.alloc(n)
+        api.write(d_re, re)
+        api.write(d_im, im)
+        secs = api.launch(
+            "forward",
+            batch * THREADS,
+            THREADS,
+            re_in=d_re,
+            im_in=d_im,
+            re_out=d_ro,
+            im_out=d_io,
+        )
+        gr = api.read(d_ro, n).reshape(batch, N_POINTS)
+        gi = api.read(d_io, n).reshape(batch, N_POINTS)
+        ref = np.fft.fft(
+            re.reshape(batch, N_POINTS) + 1j * im.reshape(batch, N_POINTS), axis=1
+        )
+        ok = np.allclose(gr + 1j * gi, ref, rtol=1e-2, atol=2e-2)
+        gflops = batch * FLOPS_PER_TRANSFORM / secs / 1e9
+        return self.result(api, gflops, secs, ok, detail={"batch": batch})

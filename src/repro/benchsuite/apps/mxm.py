@@ -1,0 +1,74 @@
+"""MxM — dense matrix multiplication (NVIDIA SDK, Table II).
+
+The SDK's classic 16x16 shared-memory tiled SGEMM: both input tiles are
+staged through shared memory, the inner product loop carries a
+``#pragma unroll``, and the resulting mad/fma chains are where the two
+front ends' fusion habits show (mad.f32 vs fma).
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from ...kir import KernelBuilder, Scalar
+from ..base import Benchmark, BenchResult, HostAPI, Metric
+
+__all__ = ["MxM"]
+
+TILE = 16
+
+
+def _kernel(dialect):
+    k = KernelBuilder("sgemm", dialect, wg_hint=TILE * TILE)
+    a = k.buffer("a", Scalar.F32)
+    b = k.buffer("b", Scalar.F32)
+    c = k.buffer("c", Scalar.F32)
+    n = k.scalar("n", Scalar.S32)  # square, multiple of TILE
+    ntiles = k.scalar("ntiles", Scalar.S32)
+    asub = k.shared("asub", Scalar.F32, TILE * TILE)
+    bsub = k.shared("bsub", Scalar.F32, TILE * TILE)
+    tx = k.let("tx", k.tid.x, Scalar.S32)
+    ty = k.let("ty", k.tid.y, Scalar.S32)
+    row = k.let("row", k.ctaid.y * TILE + ty)
+    col = k.let("col", k.ctaid.x * TILE + tx)
+    acc = k.let("acc", 0.0, Scalar.F32)
+    with k.for_("t", 0, ntiles) as t:
+        k.store(asub, ty * TILE + tx, a[row * n + (t * TILE + tx)])
+        k.store(bsub, ty * TILE + tx, b[(t * TILE + ty) * n + col])
+        k.barrier()
+        with k.for_("kk", 0, TILE, unroll=k.unroll()) as kk:
+            k.assign(acc, acc + asub[ty * TILE + kk] * bsub[kk * TILE + tx])
+        k.barrier()
+    k.store(c, row * n + col, acc)
+    return k.finish()
+
+
+class MxM(Benchmark):
+    name = "MxM"
+    metric = Metric("GFlops/sec")
+
+    def kernels(self, dialect, options, defines, params):
+        return [_kernel(dialect)]
+
+    def sizes(self):
+        return {
+            "small": {"n": 32},
+            "default": {"n": 96},
+        }
+
+    def host_run(self, api: HostAPI, params, options) -> BenchResult:
+        n = params["n"]
+        rng = np.random.default_rng(13)
+        a = rng.uniform(-1, 1, (n, n)).astype(np.float32)
+        b = rng.uniform(-1, 1, (n, n)).astype(np.float32)
+        d_a = api.alloc(n * n)
+        d_b = api.alloc(n * n)
+        d_c = api.alloc(n * n)
+        api.write(d_a, a)
+        api.write(d_b, b)
+        secs = api.launch(
+            "sgemm", (n, n), (TILE, TILE), a=d_a, b=d_b, c=d_c, n=n, ntiles=n // TILE
+        )
+        got = api.read(d_c, n * n).reshape(n, n)
+        ok = np.allclose(got, a @ b, rtol=1e-3, atol=1e-3)
+        gflops = 2 * n**3 / secs / 1e9
+        return self.result(api, gflops, secs, ok, detail={"n": n})

@@ -1,0 +1,171 @@
+"""RdxS — LSD radix sort, 4-bit digits (NVIDIA SDK, Table II).
+
+The Zagha–Blelloch/Satish four-step structure per pass: per-block digit
+histogram, a scan of the digit-major histogram matrix, and a rank-and-
+scatter kernel whose thread ranking goes through per-*warp* shared
+counter rows.
+
+**The Table VI "FL" bug, reproduced faithfully:** the ranking rows are
+indexed by ``tid / WARP_SIZE`` where ``WARP_SIZE`` is a build-time
+define the platform headers set from the device (32 on NVIDIA, 64 on
+AMD wavefronts, 4 on APP's SSE-mapped CPU lanes) — but the offset-
+combination loop that sums "rows before mine" was written with a
+hard-coded 32 (as the CUDA-SDK-derived port was).  On WARP_SIZE == 32
+devices the two agree and the sort is correct; on the HD5870 and the
+Intel920 they disagree, threads land on wrong scatter offsets, and the
+kernel completes with wrongly-sorted output — the paper's "FL".
+
+On the Cell/BE the WARP_SIZE=4 counter layout needs 64 rows x 16
+counters (4 KB) plus the tile staging, exceeding the local-store budget:
+``CL_OUT_OF_RESOURCES`` at enqueue — the paper's "ABT".
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from ...kir import KernelBuilder, Scalar
+from ..base import Benchmark, BenchResult, HostAPI, Metric
+
+__all__ = ["RdxS"]
+
+WG = 256
+RADIX = 16
+#: the hard-coded warp size the host-derived combination loop assumes
+ASSUMED_WARP = 32
+
+
+def _hist_kernel(dialect, warp_size: int):
+    rows = WG // warp_size
+    k = KernelBuilder("radix_hist", dialect, wg_hint=WG)
+    keys = k.buffer("keys", Scalar.U32)
+    ghist = k.buffer("ghist", Scalar.S32)
+    shift = k.scalar("shift", Scalar.S32)
+    nblocks = k.scalar("nblocks", Scalar.S32)
+    tile = k.shared("tile", Scalar.U32, WG)
+    counters = k.shared("counters", Scalar.S32, rows * RADIX)
+    t = k.let("t", k.tid.x, Scalar.S32)
+    blk = k.let("blk", k.ctaid.x, Scalar.S32)
+    k.store(tile, t, keys[blk * WG + t])
+    for i in range(-(-rows * RADIX // WG)):
+        idx = i * WG + t
+        if rows * RADIX >= (i + 1) * WG:
+            k.store(counters, idx, 0)
+        else:
+            with k.if_(idx < rows * RADIX):
+                k.store(counters, idx, 0)
+    k.barrier()
+    digit = k.let("digit", ((tile[t] >> shift) & (RADIX - 1)), Scalar.S32)
+    row = k.let("row", t / warp_size)
+    # warp-serialized counting (the Zagha–Blelloch trick)
+    for lane in range(warp_size):
+        with k.if_((t % warp_size).eq(lane)):
+            k.store(
+                counters, row * RADIX + digit, counters[row * RADIX + digit] + 1
+            )
+    k.barrier()
+    with k.if_(t < RADIX):
+        total = k.let("total", 0, Scalar.S32)
+        for r in range(rows):
+            k.assign(total, total + counters[r * RADIX + t])
+        # digit-major layout so the host scan orders (digit, block)
+        k.store(ghist, t * nblocks + blk, total)
+    return k.finish()
+
+
+def _scatter_kernel(dialect, warp_size: int):
+    rows = WG // warp_size
+    k = KernelBuilder("radix_scatter", dialect, wg_hint=WG)
+    keys_in = k.buffer("keys_in", Scalar.U32)
+    keys_out = k.buffer("keys_out", Scalar.U32)
+    base = k.buffer("base", Scalar.S32)  # scanned (digit, block) offsets
+    shift = k.scalar("shift", Scalar.S32)
+    nblocks = k.scalar("nblocks", Scalar.S32)
+    tile = k.shared("tile", Scalar.U32, WG)
+    counters = k.shared("counters", Scalar.S32, rows * RADIX)
+    t = k.let("t", k.tid.x, Scalar.S32)
+    blk = k.let("blk", k.ctaid.x, Scalar.S32)
+    k.store(tile, t, keys_in[blk * WG + t])
+    for i in range(-(-rows * RADIX // WG)):
+        idx = i * WG + t
+        if rows * RADIX >= (i + 1) * WG:
+            k.store(counters, idx, 0)
+        else:
+            with k.if_(idx < rows * RADIX):
+                k.store(counters, idx, 0)
+    k.barrier()
+    digit = k.let("digit", ((tile[t] >> shift) & (RADIX - 1)), Scalar.S32)
+    row = k.let("row", t / warp_size)  # rows follow the REAL warp size
+    rank = k.let("rank", 0, Scalar.S32)
+    for lane in range(warp_size):
+        with k.if_((t % warp_size).eq(lane)):
+            k.assign(rank, counters[row * RADIX + digit])
+            k.store(counters, row * RADIX + digit, rank + 1)
+    k.barrier()
+    # offset combination: sum the counter rows *before mine*.  BUG (as
+    # shipped): the row index here assumes warps of 32 — see module docs.
+    row_h = k.let("row_h", t / ASSUMED_WARP)
+    local_base = k.let("local_base", 0, Scalar.S32)
+    for r in range(WG // ASSUMED_WARP):
+        with k.if_(k.const(r, Scalar.S32) < row_h):
+            k.assign(local_base, local_base + counters[r * RADIX + digit])
+    pos = k.let("pos", base[digit * nblocks + blk] + local_base + rank)
+    k.store(keys_out, pos, tile[t])
+    return k.finish()
+
+
+class RdxS(Benchmark):
+    name = "RdxS"
+    metric = Metric("MElements/sec")
+    default_options = {"key_bits": 16}
+
+    def kernels(self, dialect, options, defines, params):
+        ws = defines.get("WARP_SIZE", 32)
+        return [_hist_kernel(dialect, ws), _scatter_kernel(dialect, ws)]
+
+    def sizes(self):
+        return {
+            "small": {"n": 4 * WG},
+            "default": {"n": 16 * WG},
+        }
+
+    def host_run(self, api: HostAPI, params, options) -> BenchResult:
+        n = params["n"]
+        bits = options["key_bits"]
+        nblocks = n // WG
+        rng = np.random.default_rng(41)
+        keys = rng.integers(0, 1 << bits, n).astype(np.uint32)
+        d_a = api.alloc(n, Scalar.U32)
+        d_b = api.alloc(n, Scalar.U32)
+        d_hist = api.alloc(RADIX * nblocks, Scalar.S32)
+        d_base = api.alloc(RADIX * nblocks, Scalar.S32)
+        api.write(d_a, keys)
+        src, dst = d_a, d_b
+        secs = 0.0
+        for shift in range(0, bits, 4):
+            secs += api.launch(
+                "radix_hist", n, WG, keys=src, ghist=d_hist, shift=shift, nblocks=nblocks
+            )
+            hist = api.read(d_hist, RADIX * nblocks)
+            base = np.concatenate([[0], np.cumsum(hist[:-1])]).astype(np.int32)
+            api.write(d_base, base)
+            secs += api.launch(
+                "radix_scatter",
+                n,
+                WG,
+                keys_in=src,
+                keys_out=dst,
+                base=d_base,
+                shift=shift,
+                nblocks=nblocks,
+            )
+            src, dst = dst, src
+        got = api.read(src, n)
+        ok = np.array_equal(got, np.sort(keys))
+        meps = n / secs / 1e6
+        return self.result(
+            api,
+            meps,
+            secs,
+            ok,
+            detail={"warp_size": api.spec.warp_width, "passes": bits // 4},
+        )

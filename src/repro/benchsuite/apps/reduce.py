@@ -1,0 +1,103 @@
+"""Reduce — array sum reduction (SHOC, Table II).
+
+SHOC's reduction shape: each block grid-strides over its slice, then
+tree-reduces in shared memory; a tiny second kernel combines the block
+partials on the device so the measured bytes/second cover the whole
+array reduction.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from ...kir import KernelBuilder, Scalar
+from ..base import Benchmark, BenchResult, HostAPI, Metric
+
+__all__ = ["Reduce"]
+
+WG = 256
+LOG_WG = 8
+
+
+def _reduce_kernel(dialect):
+    k = KernelBuilder("reduce_partial", dialect, wg_hint=WG)
+    inp = k.buffer("inp", Scalar.F32)
+    partials = k.buffer("partials", Scalar.F32)
+    n = k.scalar("n", Scalar.S32)
+    sh = k.shared("sh", Scalar.F32, WG)
+    t = k.let("t", k.tid.x, Scalar.S32)
+    gid = k.let("gid", k.global_id(0), Scalar.S32)
+    stride = k.let("stride", k.global_size(0), Scalar.S32)
+    acc = k.let("acc", 0.0, Scalar.F32)
+    j = k.let("j", gid)
+    with k.while_(j < n):
+        k.assign(acc, acc + inp[j])
+        k.assign(j, j + stride)
+    k.store(sh, t, acc)
+    k.barrier()
+    # tree reduction: s = WG/2, WG/4, ... 1
+    with k.for_("step", 0, LOG_WG) as step:
+        s = k.let(f"s", (WG >> 1) >> step)
+        with k.if_(t < s):
+            k.store(sh, t, sh[t] + sh[t + s])
+        k.barrier()
+    with k.if_(t.eq(0)):
+        k.store(partials, k.ctaid.x, sh[0])
+    return k.finish()
+
+
+def _combine_kernel(dialect):
+    k = KernelBuilder("reduce_combine", dialect, wg_hint=WG)
+    partials = k.buffer("partials", Scalar.F32)
+    out = k.buffer("out", Scalar.F32)
+    nparts = k.scalar("nparts", Scalar.S32)
+    sh = k.shared("sh", Scalar.F32, WG)
+    t = k.let("t", k.tid.x, Scalar.S32)
+    v = k.let("v", 0.0, Scalar.F32)
+    with k.if_(t < nparts):
+        k.assign(v, partials[t])
+    k.store(sh, t, v)
+    k.barrier()
+    with k.for_("step", 0, LOG_WG) as step:
+        s = k.let("s", (WG >> 1) >> step)
+        with k.if_(t < s):
+            k.store(sh, t, sh[t] + sh[t + s])
+        k.barrier()
+    with k.if_(t.eq(0)):
+        k.store(out, 0, sh[0])
+    return k.finish()
+
+
+class Reduce(Benchmark):
+    name = "Reduce"
+    metric = Metric("GB/sec")
+    default_options = {"blocks": 24}
+
+    def kernels(self, dialect, options, defines, params):
+        return [_reduce_kernel(dialect), _combine_kernel(dialect)]
+
+    def sizes(self):
+        return {
+            "small": {"n": 4096},
+            "default": {"n": 65536},
+        }
+
+    def host_run(self, api: HostAPI, params, options) -> BenchResult:
+        n = params["n"]
+        blocks = options["blocks"]
+        rng = np.random.default_rng(5)
+        data = rng.uniform(0, 1, n).astype(np.float32)
+        d_in = api.alloc(n)
+        d_part = api.alloc(blocks)
+        d_out = api.alloc(1)
+        api.write(d_in, data)
+        secs = api.launch(
+            "reduce_partial", blocks * WG, WG, inp=d_in, partials=d_part, n=n
+        )
+        secs += api.launch(
+            "reduce_combine", WG, WG, partials=d_part, out=d_out, nparts=blocks
+        )
+        got = float(api.read(d_out, 1)[0])
+        # block-wise f32 summation: compare against a tolerant reference
+        ok = abs(got - data.sum(dtype=np.float64)) < max(1e-3 * n, 1.0)
+        gbs = n * 4 / secs / 1e9
+        return self.result(api, gbs, secs, ok, detail={"n": n})

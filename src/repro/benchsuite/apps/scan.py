@@ -1,0 +1,114 @@
+"""Scan — exclusive prefix sum (NVIDIA SDK, Table II).
+
+The SDK's work-efficient Blelloch scan: each block scans a 2*WG-element
+segment in shared memory (up-sweep, clear, down-sweep), block sums are
+scanned, and a second kernel adds the block offsets.  The power-of-two
+index arithmetic (``offset*(2*tid+1)-1``) is shift-friendly, and the
+log-tree phases thin out the active warps — the classic occupancy decay
+the timing model's per-group costing captures.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from ...kir import KernelBuilder, Scalar
+from ..base import Benchmark, BenchResult, HostAPI, Metric
+
+__all__ = ["Scan"]
+
+WG = 256
+SEG = 2 * WG
+LOG_SEG = 9
+
+
+def _scan_kernel(dialect):
+    k = KernelBuilder("scan_block", dialect, wg_hint=WG)
+    inp = k.buffer("inp", Scalar.S32)
+    out = k.buffer("out", Scalar.S32)
+    sums = k.buffer("sums", Scalar.S32)
+    sh = k.shared("sh", Scalar.S32, SEG)
+    t = k.let("t", k.tid.x, Scalar.S32)
+    base = k.let("base", k.ctaid.x * SEG, Scalar.S32)
+    k.store(sh, t, inp[base + t])
+    k.store(sh, t + WG, inp[base + t + WG])
+    k.barrier()
+    # up-sweep
+    with k.for_("d", 0, LOG_SEG) as d:
+        off = k.let("off", 1 << d)
+        nact = k.let("nact", SEG >> (d + 1))
+        with k.if_(t < nact):
+            ai = k.let("ai", off * (2 * t + 1) - 1)
+            bi = k.let("bi", off * (2 * t + 2) - 1)
+            k.store(sh, bi, sh[bi] + sh[ai])
+        k.barrier()
+    # save the total and clear the root
+    with k.if_(t.eq(0)):
+        k.store(sums, k.ctaid.x, sh[SEG - 1])
+        k.store(sh, SEG - 1, 0)
+    k.barrier()
+    # down-sweep
+    with k.for_("d2", 0, LOG_SEG) as d2:
+        off = k.let("off2", SEG >> (d2 + 1))
+        nact = k.let("nact2", 1 << d2)
+        with k.if_(t < nact):
+            ai = k.let("ai2", off * (2 * t + 1) - 1)
+            bi = k.let("bi2", off * (2 * t + 2) - 1)
+            tmp = k.let("tmp", sh[ai])
+            k.store(sh, ai, sh[bi])
+            k.store(sh, bi, sh[bi] + tmp)
+        k.barrier()
+    k.store(out, base + t, sh[t])
+    k.store(out, base + t + WG, sh[t + WG])
+    return k.finish()
+
+
+def _add_offsets_kernel(dialect):
+    k = KernelBuilder("scan_add_offsets", dialect, wg_hint=WG)
+    out = k.buffer("out", Scalar.S32)
+    offs = k.buffer("offs", Scalar.S32)
+    b = k.let("b", k.ctaid.x, Scalar.S32)
+    t = k.let("t", k.tid.x, Scalar.S32)
+    base = k.let("base", b * SEG)
+    v = k.let("v", offs[b])
+    k.store(out, base + t, out[base + t] + v)
+    k.store(out, base + t + WG, out[base + t + WG] + v)
+    return k.finish()
+
+
+class Scan(Benchmark):
+    name = "Scan"
+    metric = Metric("MElements/sec")
+
+    def kernels(self, dialect, options, defines, params):
+        return [_scan_kernel(dialect), _add_offsets_kernel(dialect)]
+
+    def sizes(self):
+        return {
+            "small": {"n": 2 * SEG},
+            "default": {"n": 16 * SEG},
+        }
+
+    def host_run(self, api: HostAPI, params, options) -> BenchResult:
+        n = params["n"]
+        blocks = n // SEG
+        rng = np.random.default_rng(31)
+        data = rng.integers(0, 64, n).astype(np.int32)
+        d_in = api.alloc(n, Scalar.S32)
+        d_out = api.alloc(n, Scalar.S32)
+        d_sums = api.alloc(blocks, Scalar.S32)
+        api.write(d_in, data)
+        secs = api.launch(
+            "scan_block", blocks * WG, WG, inp=d_in, out=d_out, sums=d_sums
+        )
+        sums = api.read(d_sums, blocks)
+        offs = np.concatenate([[0], np.cumsum(sums[:-1])]).astype(np.int32)
+        d_offs = api.alloc(blocks, Scalar.S32)
+        api.write(d_offs, offs)
+        secs += api.launch(
+            "scan_add_offsets", blocks * WG, WG, out=d_out, offs=d_offs
+        )
+        got = api.read(d_out, n)
+        ref = np.concatenate([[0], np.cumsum(data[:-1], dtype=np.int64)])
+        ok = np.array_equal(got.astype(np.int64), ref)
+        meps = n / secs / 1e6
+        return self.result(api, meps, secs, ok, detail={"n": n})

@@ -1,0 +1,135 @@
+"""St2D — two-dimensional nine-point stencil (SHOC, Table II).
+
+One sweep of SHOC's Stencil2D: 16x16 blocks stage an 18x18 tile (with
+halo) through shared memory; edge threads fetch the halo, producing the
+divergence the SIMT stack has to handle.  Several iterations ping-pong
+between two buffers, as SHOC does.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from ...kir import KernelBuilder, Scalar
+from ..base import Benchmark, BenchResult, HostAPI, Metric
+from ..data import gray_image
+
+__all__ = ["St2D", "WEIGHTS"]
+
+B = 16
+TW = B + 2  # tile width with halo
+
+#: center, edge, corner weights (SHOC's defaults)
+WEIGHTS = (0.25, 0.125, 0.0625)
+
+
+def _kernel(dialect):
+    wc, we, wk = WEIGHTS
+    k = KernelBuilder("stencil9", dialect, wg_hint=B * B)
+    inp = k.buffer("inp", Scalar.F32)
+    out = k.buffer("out", Scalar.F32)
+    w = k.scalar("w", Scalar.S32)
+    h = k.scalar("h", Scalar.S32)
+    tile = k.shared("tile", Scalar.F32, TW * TW)
+    tx = k.let("tx", k.tid.x, Scalar.S32)
+    ty = k.let("ty", k.tid.y, Scalar.S32)
+    # signed: border arithmetic (x-1 at x==0) must not wrap
+    x = k.let("x", k.ctaid.x * B + tx, Scalar.S32)
+    y = k.let("y", k.ctaid.y * B + ty, Scalar.S32)
+    # clamp-to-edge sampling indices
+    def clamped(cx, cy):
+        cxv = k.max(0, k.min(cx, w - 1))
+        cyv = k.max(0, k.min(cy, h - 1))
+        return inp[cyv * w + cxv]
+
+    k.store(tile, (ty + 1) * TW + (tx + 1), clamped(x, y))
+    with k.if_(tx.eq(0)):
+        k.store(tile, (ty + 1) * TW + 0, clamped(x - 1, y))
+    with k.if_(tx.eq(B - 1)):
+        k.store(tile, (ty + 1) * TW + (TW - 1), clamped(x + 1, y))
+    with k.if_(ty.eq(0)):
+        k.store(tile, 0 * TW + (tx + 1), clamped(x, y - 1))
+    with k.if_(ty.eq(B - 1)):
+        k.store(tile, (TW - 1) * TW + (tx + 1), clamped(x, y + 1))
+    # corners (needed by the 9-point box stencil)
+    with k.if_(tx.eq(0).logical_and(ty.eq(0))):
+        k.store(tile, 0, clamped(x - 1, y - 1))
+    with k.if_(tx.eq(B - 1).logical_and(ty.eq(0))):
+        k.store(tile, TW - 1, clamped(x + 1, y - 1))
+    with k.if_(tx.eq(0).logical_and(ty.eq(B - 1))):
+        k.store(tile, (TW - 1) * TW, clamped(x - 1, y + 1))
+    with k.if_(tx.eq(B - 1).logical_and(ty.eq(B - 1))):
+        k.store(tile, (TW - 1) * TW + TW - 1, clamped(x + 1, y + 1))
+    k.barrier()
+    cx = k.let("cx", tx + 1)
+    cy = k.let("cy", ty + 1)
+    acc = k.let("acc", tile[cy * TW + cx] * wc, Scalar.F32)
+    k.assign(
+        acc,
+        acc
+        + we
+        * (
+            tile[cy * TW + cx - 1]
+            + tile[cy * TW + cx + 1]
+            + tile[(cy - 1) * TW + cx]
+            + tile[(cy + 1) * TW + cx]
+        ),
+    )
+    k.assign(
+        acc,
+        acc
+        + wk
+        * (
+            tile[(cy - 1) * TW + cx - 1]
+            + tile[(cy - 1) * TW + cx + 1]
+            + tile[(cy + 1) * TW + cx - 1]
+            + tile[(cy + 1) * TW + cx + 1]
+        ),
+    )
+    with k.if_((x < w).logical_and(y < h)):
+        k.store(out, y * w + x, acc)
+    return k.finish()
+
+
+def stencil_reference(a: np.ndarray, iters: int) -> np.ndarray:
+    wc, we, wk = WEIGHTS
+    cur = a.astype(np.float32)
+    for _ in range(iters):
+        p = np.pad(cur, 1, mode="edge")
+        cur = (
+            wc * p[1:-1, 1:-1]
+            + we * (p[1:-1, :-2] + p[1:-1, 2:] + p[:-2, 1:-1] + p[2:, 1:-1])
+            + wk * (p[:-2, :-2] + p[:-2, 2:] + p[2:, :-2] + p[2:, 2:])
+        ).astype(np.float32)
+    return cur
+
+
+class St2D(Benchmark):
+    name = "St2D"
+    metric = Metric("sec", higher_is_better=False)
+    default_options = {"iters": 4}
+
+    def kernels(self, dialect, options, defines, params):
+        return [_kernel(dialect)]
+
+    def sizes(self):
+        return {
+            "small": {"w": 32, "h": 32},
+            "default": {"w": 128, "h": 128},
+        }
+
+    def host_run(self, api: HostAPI, params, options) -> BenchResult:
+        w, h = params["w"], params["h"]
+        iters = options["iters"]
+        img = gray_image(w, h, seed=2)
+        d_a = api.alloc(w * h)
+        d_b = api.alloc(w * h)
+        api.write(d_a, img)
+        secs = 0.0
+        bufs = [d_a, d_b]
+        for it in range(iters):
+            secs += api.launch(
+                "stencil9", (w, h), (B, B), inp=bufs[it % 2], out=bufs[(it + 1) % 2], w=w, h=h
+            )
+        got = api.read(bufs[iters % 2], w * h).reshape(h, w)
+        ok = np.allclose(got, stencil_reference(img, iters), rtol=1e-3, atol=1e-3)
+        return self.result(api, secs, secs, ok, detail={"iters": iters})

@@ -1,0 +1,138 @@
+"""STNW — sorting networks: bitonic key/value sort (NVIDIA SDK).
+
+The SDK's ``sortingNetworks`` structure: a shared-memory kernel fully
+sorts each 2*WG-element segment (all stages with k <= 2*WG run inside
+one launch, key and value arrays staged in local memory), then the host
+drives the remaining global merge stages one compare-exchange launch per
+(stage, pass).  Two consequences the paper observes:
+
+* the many small launches of the merge phase expose OpenCL's higher
+  enqueue latency (§IV-B.4);
+* the shared staging (2 x 2*WG x 4B arrays = 8 KB with WG=256) exceeds
+  the Cell/BE's local-store budget -> ``CL_OUT_OF_RESOURCES`` ("ABT" in
+  Table VI).
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from ...kir import KernelBuilder, Scalar
+from ..base import Benchmark, BenchResult, HostAPI, Metric
+
+__all__ = ["STNW"]
+
+WG = 256
+SEG = 2 * WG
+
+
+def _local_kernel(dialect):
+    """Sort each SEG-element segment entirely in shared memory."""
+    k = KernelBuilder("bitonic_local", dialect, wg_hint=WG)
+    keys = k.buffer("keys", Scalar.S32)
+    vals = k.buffer("vals", Scalar.S32)
+    sk = k.shared("sk", Scalar.S32, SEG)
+    sv = k.shared("sv", Scalar.S32, SEG)
+    t = k.let("t", k.tid.x, Scalar.S32)
+    base = k.let("base", k.ctaid.x * SEG, Scalar.S32)
+    k.store(sk, t, keys[base + t])
+    k.store(sk, t + WG, keys[base + t + WG])
+    k.store(sv, t, vals[base + t])
+    k.store(sv, t + WG, vals[base + t + WG])
+    k.barrier()
+    # all network stages with k <= SEG; python-level loops mirror the
+    # SDK's compile-time expansion over (size, stride)
+    size = 2
+    while size <= SEG:
+        stride = size // 2
+        while stride >= 1:
+            i = k.let(f"i_{size}_{stride}", 2 * t - (t % stride))
+            ixj = k.let(f"x_{size}_{stride}", i + stride)
+            # direction comes from the *global* element index: the
+            # segment-size stage alternates per segment
+            up = k.let(
+                f"u_{size}_{stride}", (((base + i) & size).eq(0)), Scalar.PRED
+            )
+            a = k.let(f"a_{size}_{stride}", sk[i])
+            b = k.let(f"b_{size}_{stride}", sk[ixj])
+            swap = k.let(
+                f"s_{size}_{stride}", k.select(up, a > b, a < b), Scalar.PRED
+            )
+            with k.if_(swap):
+                av = k.let(f"av_{size}_{stride}", sv[i])
+                k.store(sk, i, b)
+                k.store(sk, ixj, a)
+                k.store(sv, i, sv[ixj])
+                k.store(sv, ixj, av)
+            k.barrier()
+            stride //= 2
+        size *= 2
+    k.store(keys, base + t, sk[t])
+    k.store(keys, base + t + WG, sk[t + WG])
+    k.store(vals, base + t, sv[t])
+    k.store(vals, base + t + WG, sv[t + WG])
+    return k.finish()
+
+
+def _global_kernel(dialect):
+    """One compare-exchange pass of the global merge stages."""
+    k = KernelBuilder("bitonic_ce", dialect, wg_hint=WG)
+    keys = k.buffer("keys", Scalar.S32)
+    vals = k.buffer("vals", Scalar.S32)
+    j = k.scalar("j", Scalar.S32)
+    kk = k.scalar("kk", Scalar.S32)
+    i = k.let("i", k.global_id(0), Scalar.S32)
+    ixj = k.let("ixj", i ^ j)
+    with k.if_(ixj > i):
+        a = k.let("a", keys[i])
+        b = k.let("b", keys[ixj])
+        up = k.let("up", (i & kk).eq(0), Scalar.PRED)
+        swap = k.let("swap", k.select(up, a > b, a < b), Scalar.PRED)
+        with k.if_(swap):
+            av = k.let("av", vals[i])
+            k.store(keys, i, b)
+            k.store(keys, ixj, a)
+            k.store(vals, i, vals[ixj])
+            k.store(vals, ixj, av)
+    return k.finish()
+
+
+class STNW(Benchmark):
+    name = "STNW"
+    metric = Metric("MElements/sec")
+
+    def kernels(self, dialect, options, defines, params):
+        return [_local_kernel(dialect), _global_kernel(dialect)]
+
+    def sizes(self):
+        return {
+            "small": {"n": 2 * SEG},
+            "default": {"n": 8 * SEG},
+        }
+
+    def host_run(self, api: HostAPI, params, options) -> BenchResult:
+        n = params["n"]
+        rng = np.random.default_rng(37)
+        keys = rng.integers(0, 1 << 30, n).astype(np.int32)
+        vals = np.arange(n, dtype=np.int32)
+        d_keys = api.alloc(n, Scalar.S32)
+        d_vals = api.alloc(n, Scalar.S32)
+        api.write(d_keys, keys)
+        api.write(d_vals, vals)
+        secs = api.launch("bitonic_local", n // 2, WG, keys=d_keys, vals=d_vals)
+        kk = 2 * SEG
+        while kk <= n:
+            j = kk // 2
+            while j >= 1:
+                secs += api.launch(
+                    "bitonic_ce", n, WG, keys=d_keys, vals=d_vals, j=j, kk=kk
+                )
+                j //= 2
+            kk *= 2
+        gk = api.read(d_keys, n)
+        gv = api.read(d_vals, n)
+        order = np.argsort(keys, kind="stable")
+        ok = np.array_equal(gk, keys[order]) and bool(
+            np.array_equal(keys[gv], gk)
+        )
+        meps = n / secs / 1e6
+        return self.result(api, meps, secs, ok, detail={"launches": api.launch_count})

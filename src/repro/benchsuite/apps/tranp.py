@@ -1,0 +1,74 @@
+"""TranP — matrix transposition with shared memory (SELF, Table II).
+
+The classic shared-memory tiled transpose: a 16x16 tile staged through
+shared memory with a +1 padding column to dodge bank conflicts, so both
+the read and the write are coalesced.  On CPU devices the staging is
+pure overhead ("all OpenCL memory objects for CPU are cached implicitly
+by hardware"), the paper's Table VI TranP observation — toggleable via
+``options["use_local"]`` for the portability ablation.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from ...kir import KernelBuilder, Scalar
+from ..base import Benchmark, BenchResult, HostAPI, Metric
+
+__all__ = ["TranP"]
+
+TILE = 16
+
+
+def _kernel(dialect, use_local: bool):
+    k = KernelBuilder("transpose", dialect, wg_hint=TILE * TILE)
+    inp = k.buffer("inp", Scalar.F32)
+    out = k.buffer("out", Scalar.F32)
+    n = k.scalar("n", Scalar.S32)  # square matrix, multiple of TILE
+    tx = k.let("tx", k.tid.x, Scalar.S32)
+    ty = k.let("ty", k.tid.y, Scalar.S32)
+    bx = k.let("bx", k.ctaid.x, Scalar.S32)
+    by = k.let("by", k.ctaid.y, Scalar.S32)
+    x = k.let("x", bx * TILE + tx)
+    y = k.let("y", by * TILE + ty)
+    if use_local:
+        tile = k.shared("tile", Scalar.F32, TILE * (TILE + 1))
+        k.store(tile, ty * (TILE + 1) + tx, inp[y * n + x])
+        k.barrier()
+        x2 = k.let("x2", by * TILE + tx)
+        y2 = k.let("y2", bx * TILE + ty)
+        k.store(out, y2 * n + x2, tile[tx * (TILE + 1) + ty])
+    else:
+        # naive: uncoalesced write; the baseline for the local-memory
+        # ablation on CPU-class devices
+        k.store(out, x * n + y, inp[y * n + x])
+    return k.finish()
+
+
+class TranP(Benchmark):
+    name = "TranP"
+    metric = Metric("GB/sec")
+    default_options = {"use_local": True}
+
+    def kernels(self, dialect, options, defines, params):
+        return [_kernel(dialect, options["use_local"])]
+
+    def sizes(self):
+        return {
+            "small": {"n": 64},
+            "default": {"n": 192},
+        }
+
+    def host_run(self, api: HostAPI, params, options) -> BenchResult:
+        n = params["n"]
+        rng = np.random.default_rng(11)
+        a = rng.uniform(0, 1, (n, n)).astype(np.float32)
+        d_in = api.alloc(n * n)
+        d_out = api.alloc(n * n)
+        api.write(d_in, a)
+        secs = api.launch(
+            "transpose", (n, n), (TILE, TILE), inp=d_in, out=d_out, n=n
+        )
+        got = api.read(d_out, n * n).reshape(n, n)
+        ok = np.array_equal(got, a.T)
+        gbs = 2 * n * n * 4 / secs / 1e9
+        return self.result(api, gbs, secs, ok, detail={"n": n})

@@ -1,0 +1,92 @@
+"""Benchmark registry — the paper's Table II, programmatically.
+
+``REGISTRY`` maps benchmark name -> class; ``TABLE2`` carries the
+metadata columns (suite of origin, dwarf class, metric) so reports can
+render the table.  ``REAL_WORLD`` lists the 14 applications of Fig. 3 /
+Table VI in the paper's column order.
+"""
+from __future__ import annotations
+
+import dataclasses
+
+from .apps.bfs import BFS
+from .apps.dxtc import DXTC
+from .apps.fdtd import FDTD
+from .apps.fft import FFT
+from .apps.md import MD
+from .apps.mxm import MxM
+from .apps.rdxs import RdxS
+from .apps.reduce import Reduce
+from .apps.scan import Scan
+from .apps.sobel import Sobel
+from .apps.spmv import SPMV
+from .apps.st2d import St2D
+from .apps.stnw import STNW
+from .apps.tranp import TranP
+from .base import Benchmark
+from .synthetic.devicememory import DeviceMemory
+from .synthetic.maxflops import MaxFlops
+
+__all__ = ["REGISTRY", "TABLE2", "REAL_WORLD", "SYNTHETIC", "get_benchmark"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Table2Row:
+    name: str
+    suite: str
+    dwarf: str
+    metric: str
+    description: str
+
+
+TABLE2 = [
+    Table2Row("BFS", "Rodinia", "Graph Traversal", "sec", "Graph breadth first search"),
+    Table2Row("Sobel", "SELF", "Dense Linear Algebra", "sec", "Sobel operator on a gray image in X direction"),
+    Table2Row("TranP", "SELF", "Dense Linear Algebra", "GB/sec", "Matrix transposition with shared memory"),
+    Table2Row("Reduce", "SHOC", "Reduce", "GB/sec", "Calculate a reduction of an array"),
+    Table2Row("FFT", "SHOC", "Spectral Methods", "GFlops/sec", "Fast Fourier Transform"),
+    Table2Row("MD", "SHOC", "N-Body Methods", "GFlops/sec", "Molecular dynamics"),
+    Table2Row("SPMV", "SHOC", "Sparse Linear Algebra", "GFlops/sec", "Multiplication of sparse matrix and vector (CSR)"),
+    Table2Row("St2D", "SHOC", "Structured Grids", "sec", "A two-dimensional nine point stencil calculation"),
+    Table2Row("DXTC", "NSDK", "Dense Linear Algebra", "MPixels/sec", "High quality DXT compression"),
+    Table2Row("RdxS", "NSDK", "Sort", "MElements/sec", "Radix sort"),
+    Table2Row("Scan", "NSDK", "Scan", "MElements/sec", "Get prefix sum of an array"),
+    Table2Row("STNW", "NSDK", "Sort", "MElements/sec", "Use comparator networks to sort an array"),
+    Table2Row("MxM", "NSDK", "Dense Linear Algebra", "GFlops/sec", "Matrix multiplication"),
+    Table2Row("FDTD", "NSDK", "Structured Grids", "MPoints/sec", "Finite-difference time-domain method"),
+]
+
+REGISTRY: dict = {
+    cls.name: cls
+    for cls in (
+        MaxFlops,
+        DeviceMemory,
+        BFS,
+        Sobel,
+        TranP,
+        Reduce,
+        FFT,
+        MD,
+        SPMV,
+        St2D,
+        DXTC,
+        RdxS,
+        Scan,
+        STNW,
+        MxM,
+        FDTD,
+    )
+}
+
+SYNTHETIC = ["MaxFlops", "DeviceMemory"]
+#: Fig. 3 / Table VI column order
+REAL_WORLD = [r.name for r in TABLE2]
+
+
+def get_benchmark(name: str) -> Benchmark:
+    try:
+        return REGISTRY[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {sorted(REGISTRY)}"
+        ) from None

@@ -1,0 +1,5 @@
+"""Synthetic peak-performance benchmarks (paper §III-B.1)."""
+from .devicememory import DeviceMemory
+from .maxflops import MaxFlops
+
+__all__ = ["MaxFlops", "DeviceMemory"]

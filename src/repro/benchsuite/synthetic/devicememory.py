@@ -1,0 +1,82 @@
+"""DeviceMemory — SHOC's global-memory bandwidth synthetic (Fig. 1).
+
+The measured quantity is achieved peak bandwidth (AP_BW) from a
+perfectly coalesced read stream at work-group size 256 — the paper notes
+AP_BW depends on the work-group size and fixes it at 256, as we do.
+A strided variant is included for the coalescing ablation benches.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from ...kir import KernelBuilder, Scalar
+from ..base import Benchmark, BenchResult, HostAPI, Metric
+
+__all__ = ["DeviceMemory"]
+
+ITERS = 16
+
+
+def _read_kernel(dialect, name: str, stride_mode: bool):
+    k = KernelBuilder(name, dialect)
+    g = k.buffer("g", Scalar.F32)
+    out = k.buffer("out", Scalar.F32)
+    nthreads = k.scalar("nthreads", Scalar.S32)
+    gid = k.let("gid", k.global_id(0))
+    s = k.let("s", 0.0, Scalar.F32)
+    if stride_mode:
+        # each thread walks a contiguous chunk: maximally *uncoalesced*
+        j = k.let("j", gid * ITERS)
+        with k.for_("it", 0, ITERS, unroll=k.unroll()) as _:
+            k.assign(s, s + g[j])
+            k.assign(j, j + 1)
+    else:
+        # warp-contiguous grid-stride walk: maximally coalesced
+        j = k.let("j", gid)
+        with k.for_("it", 0, ITERS, unroll=k.unroll()) as _:
+            k.assign(s, s + g[j])
+            k.assign(j, j + nthreads)
+    k.store(out, gid, s)
+    return k.finish()
+
+
+class DeviceMemory(Benchmark):
+    name = "DeviceMemory"
+    metric = Metric("GB/sec")
+    default_options = {"wg": 256, "pattern": "coalesced"}
+
+    def kernels(self, dialect, options, defines, params):
+        return [
+            _read_kernel(dialect, "read_coalesced", stride_mode=False),
+            _read_kernel(dialect, "read_strided", stride_mode=True),
+        ]
+
+    def sizes(self):
+        return {
+            "small": {"n_threads": 2048},
+            "default": {"n_threads": 15360},
+        }
+
+    def host_run(self, api: HostAPI, params, options) -> BenchResult:
+        n_threads = params["n_threads"]
+        wg = options["wg"]
+        n = n_threads * ITERS
+        rng = np.random.default_rng(3)
+        data = rng.uniform(0, 1, n).astype(np.float32)
+        d_g = api.alloc(n)
+        d_out = api.alloc(n_threads)
+        api.write(d_g, data)
+        kname = (
+            "read_coalesced" if options["pattern"] == "coalesced" else "read_strided"
+        )
+        secs = api.launch(kname, n_threads, wg, g=d_g, out=d_out, nthreads=n_threads)
+        got = api.read(d_out, n_threads)
+        m = data.reshape(ITERS, n_threads)
+        ref = (
+            m.sum(axis=0, dtype=np.float32)
+            if options["pattern"] == "coalesced"
+            else data.reshape(n_threads, ITERS).sum(axis=1, dtype=np.float32)
+        )
+        ok = np.allclose(got, ref, rtol=1e-4)
+        gbs = n * 4 / secs / 1e9
+        return self.result(api, gbs, secs, ok, detail={"bytes": n * 4})

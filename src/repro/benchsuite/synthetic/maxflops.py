@@ -1,0 +1,91 @@
+"""MaxFlops — SHOC's peak floating-point synthetic benchmark (Fig. 2).
+
+Two kernels, matching the paper's §IV-A.2:
+
+* ``maxflops_madmul`` — a mul and a mad interleaved, so GT200's
+  dual-issue pipeline (R=3) can co-issue them;
+* ``maxflops_mad`` — mad-only, the right shape for Fermi (R=2).
+
+The host picks the variant matching the device architecture, exactly as
+SHOC's MaxFlops selects per-device kernels.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from ...kir import KernelBuilder, Scalar
+from ..base import Benchmark, BenchResult, HostAPI, Metric
+
+__all__ = ["MaxFlops"]
+
+ITERS = 64  # unrolled chain iterations
+PAIRS = 4  # (mad, mul) pairs per iteration
+
+
+def _chain_kernel(dialect, name: str, mad_only: bool):
+    k = KernelBuilder(name, dialect)
+    inp = k.buffer("inp", Scalar.F32)
+    out = k.buffer("out", Scalar.F32)
+    gid = k.let("gid", k.global_id(0))
+    x = k.let("x", inp[gid])
+    y = k.let("y", x + 1.25)
+    # both front ends unroll on an explicit pragma -> identical native code
+    with k.for_("it", 0, ITERS, unroll=k.unroll()) as _:
+        for _p in range(PAIRS):
+            k.assign(x, x * 0.999 + 0.0001)  # mad/fma
+            if mad_only:
+                k.assign(y, y * 1.001 + 0.0002)  # mad/fma
+            else:
+                k.assign(y, y * 0.999)  # bare mul, dual-issue candidate
+    k.store(out, gid, x + y)
+    return k.finish()
+
+
+def _reference(inp: np.ndarray, mad_only: bool) -> np.ndarray:
+    x = inp.copy()
+    y = (x + np.float32(1.25)).astype(np.float32)
+    for _ in range(ITERS * PAIRS):
+        x = (x * np.float32(0.999) + np.float32(0.0001)).astype(np.float32)
+        if mad_only:
+            y = (y * np.float32(1.001) + np.float32(0.0002)).astype(np.float32)
+        else:
+            y = (y * np.float32(0.999)).astype(np.float32)
+    return (x + y).astype(np.float32)
+
+
+class MaxFlops(Benchmark):
+    name = "MaxFlops"
+    metric = Metric("GFlops/sec")
+    default_options = {"wg": 256}
+
+    def kernels(self, dialect, options, defines, params):
+        return [
+            _chain_kernel(dialect, "maxflops_mad", mad_only=True),
+            _chain_kernel(dialect, "maxflops_madmul", mad_only=False),
+        ]
+
+    def sizes(self):
+        return {
+            "small": {"n": 2048},
+            "default": {"n": 15360},
+        }
+
+    def host_run(self, api: HostAPI, params, options) -> BenchResult:
+        n = params["n"]
+        wg = options["wg"]
+        # GT200 peaks via dual-issued mul+mad; everything else via mad-only
+        mad_only = api.spec.timing.dual_issue_efficiency == 0
+        kname = "maxflops_mad" if mad_only else "maxflops_madmul"
+        g = np.random.default_rng(7)
+        inp = g.uniform(0.5, 1.5, n).astype(np.float32)
+        d_in = api.alloc(n)
+        d_out = api.alloc(n)
+        api.write(d_in, inp)
+        secs = api.launch(kname, n, wg, inp=d_in, out=d_out)
+        got = api.read(d_out, n)
+        ok = np.allclose(got, _reference(inp, mad_only), rtol=1e-4, atol=1e-5)
+        flops_per_thread = ITERS * PAIRS * (2 + (2 if mad_only else 1))
+        gflops = n * flops_per_thread / secs / 1e9
+        return self.result(
+            api, gflops, secs, ok, detail={"kernel": kname, "threads": n}
+        )

@@ -1,0 +1,18 @@
+"""Dialect-dispatching compile entry point."""
+from __future__ import annotations
+
+from ..kir.stmt import Kernel
+from ..ptx.module import PTXKernel
+from .clc import compile_opencl
+from .nvopencc import compile_cuda
+
+__all__ = ["compile_kernel"]
+
+
+def compile_kernel(kernel: Kernel, max_regs: int = 124) -> PTXKernel:
+    """Compile with the front end matching the kernel's dialect."""
+    if kernel.dialect == "cuda":
+        return compile_cuda(kernel, max_regs=max_regs)
+    if kernel.dialect == "opencl":
+        return compile_opencl(kernel, max_regs=max_regs)
+    raise ValueError(f"unknown dialect {kernel.dialect!r}")

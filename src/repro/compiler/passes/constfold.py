@@ -1,0 +1,191 @@
+"""Constant folding over the kernel IR.
+
+Two strengths, matching the two front ends:
+
+* ``prune_branches=True`` (NVOPENCC): folds literal arithmetic *and*
+  eliminates ``If``/``Select``/``For`` whose conditions become constant —
+  after full unrolling this is what erases the FFT twiddle conditionals
+  from CUDA PTX (Table V shows only 2 ``setp``).
+* ``prune_branches=False`` (CLC): folds literal-literal arithmetic only;
+  control flow survives to PTX as dynamic ``setp``/``selp``/``bra``.
+"""
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable
+
+from ...kir.eval import _eval
+from ...kir.expr import BinOp, Const, Expr, Load, Select, UnOp, Var
+from ...kir.stmt import (
+    Assign,
+    Barrier,
+    For,
+    If,
+    Kernel,
+    Let,
+    Stmt,
+    Store,
+    While,
+)
+from ...kir.types import Scalar, is_integer
+from ...kir.visit import map_expr
+
+__all__ = ["fold_constants"]
+
+
+def _const_of(e: Expr):
+    if isinstance(e, Const):
+        return e.value
+    return None
+
+
+def _all_const(*exprs: Expr) -> bool:
+    return all(isinstance(e, Const) for e in exprs)
+
+
+def _fold_node(e: Expr, prune_branches: bool, algebraic: bool) -> Expr:
+    """Fold one node whose children are already folded."""
+    if isinstance(e, BinOp) and _all_const(e.a, e.b):
+        try:
+            v = _eval(e, {}, {})
+        except (ZeroDivisionError, NotImplementedError):
+            return e
+        return Const(
+            bool(v) if e.dtype is Scalar.PRED else v.item() if hasattr(v, "item") else v,
+            e.dtype,
+        )
+    if isinstance(e, UnOp) and isinstance(e.a, Const):
+        try:
+            v = _eval(e, {}, {})
+        except NotImplementedError:
+            return e
+        return Const(v.item() if hasattr(v, "item") else v, e.dtype)
+    if prune_branches and isinstance(e, Select) and isinstance(e.pred, Const):
+        return e.a if e.pred.value else e.b
+
+    if algebraic and isinstance(e, BinOp):
+        av, bv = _const_of(e.a), _const_of(e.b)
+        if e.op == "add":
+            if av == 0:
+                return e.b
+            if bv == 0:
+                return e.a
+        elif e.op == "sub" and bv == 0:
+            return e.a
+        elif e.op == "mul":
+            if av == 1:
+                return e.b
+            if bv == 1:
+                return e.a
+            if (av == 0 or bv == 0) and is_integer(e.dtype):
+                return Const(0, e.dtype)
+        elif e.op == "div" and bv == 1:
+            return e.a
+        elif e.op in ("shl", "shr") and bv == 0:
+            return e.a
+    return e
+
+
+def _fold_expr(e: Expr, prune: bool, algebraic: bool) -> Expr:
+    return map_expr(e, lambda n: _fold_node(n, prune, algebraic))
+
+
+def _assigned_in(body) -> set:
+    from ...kir.visit import walk_stmts
+
+    names = set()
+    for s in walk_stmts(body):
+        if isinstance(s, (Let, Assign)):
+            names.add(s.var.name)
+        elif isinstance(s, For):
+            names.add(s.var.name)
+    return names
+
+
+def fold_constants(
+    kernel: Kernel, prune_branches: bool = True, algebraic: bool = True
+) -> Kernel:
+    """Return a new kernel with constants folded (input left untouched).
+
+    With ``prune_branches=True`` this additionally performs sparse
+    constant *propagation* through ``Let``/``Assign`` chains — after the
+    NVOPENCC unroller expands a stage loop, chained counter updates
+    (``l = l*2``) become compile-time constants, which in turn folds the
+    per-stage index arithmetic and conditionals.  This is the mechanism
+    behind the lean CUDA column of Table V.
+    """
+    propagate = prune_branches
+
+    def fe(e: Expr, env: dict) -> Expr:
+        if propagate and env:
+
+            def repl(n: Expr) -> Expr:
+                if isinstance(n, Var) and n.name in env:
+                    return env[n.name]
+                return _fold_node(n, prune_branches, algebraic)
+
+            from ...kir.visit import map_expr
+
+            return map_expr(e, repl)
+        return _fold_expr(e, prune_branches, algebraic)
+
+    def fold_body(body: Iterable[Stmt], env: dict) -> list[Stmt]:
+        out: list[Stmt] = []
+        for s in body:
+            if isinstance(s, (Let, Assign)):
+                val = fe(s.value, env)
+                if propagate:
+                    if isinstance(val, Const):
+                        env[s.var.name] = Const(val.value, s.var.dtype)
+                    else:
+                        env.pop(s.var.name, None)
+                out.append(type(s)(s.var, val))
+            elif isinstance(s, Store):
+                out.append(Store(s.buf, fe(s.index, env), fe(s.value, env)))
+            elif isinstance(s, Barrier):
+                out.append(s)
+            elif isinstance(s, If):
+                cond = fe(s.cond, env)
+                if prune_branches and isinstance(cond, Const):
+                    out.extend(fold_body(s.then if cond.value else s.orelse, env))
+                    continue
+                killed = _assigned_in(s.then) | _assigned_in(s.orelse)
+                then = fold_body(s.then, dict(env))
+                orelse = fold_body(s.orelse, dict(env))
+                for name in killed:
+                    env.pop(name, None)
+                out.append(If(cond, tuple(then), tuple(orelse)))
+            elif isinstance(s, For):
+                start = fe(s.start, env)  # evaluated once, before the loop
+                killed_early = _assigned_in(s.body) | {s.var.name}
+                for name in killed_early:
+                    env.pop(name, None)
+                # stop/step re-evaluate every iteration: fold them only
+                # with loop-invariant knowledge
+                stop, step = fe(s.stop, env), fe(s.step, env)
+                if (
+                    prune_branches
+                    and _all_const(start, stop)
+                    and start.value >= stop.value
+                ):
+                    continue  # provably zero-trip loop
+                inner = fold_body(s.body, dict(env))
+                out.append(For(s.var, start, stop, step, tuple(inner), s.unroll))
+            elif isinstance(s, While):
+                killed = _assigned_in(s.body)
+                for name in killed:
+                    env.pop(name, None)
+                cond = fe(s.cond, env)
+                if prune_branches and isinstance(cond, Const) and not cond.value:
+                    continue
+                out.append(While(cond, tuple(fold_body(s.body, dict(env)))))
+            else:  # pragma: no cover - exhaustive
+                raise TypeError(f"unknown statement {s!r}")
+        return out
+
+    return dataclasses.replace(
+        kernel,
+        body=fold_body(kernel.body, {}),
+        params=list(kernel.params),
+        shared=list(kernel.shared),
+    )

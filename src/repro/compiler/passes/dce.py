@@ -1,0 +1,42 @@
+"""Dead-code elimination over the virtual ISA.
+
+Removes instructions whose results are never read, iterating to a fixed
+point.  Side-effecting instructions (stores, branches, barriers, exits)
+are roots and never removed.  Loads are considered removable when their
+destination is dead — both real front ends delete dead loads, and the
+interpreter would otherwise charge memory traffic for them.
+"""
+from __future__ import annotations
+
+from ...ptx.instructions import Instr, Reg
+from ...ptx.isa import Op
+from ...ptx.module import PTXKernel
+
+__all__ = ["eliminate_dead_code"]
+
+_SIDE_EFFECT = {Op.ST, Op.BRA, Op.BAR, Op.EXIT, Op.LABEL}
+
+
+def eliminate_dead_code(kernel: PTXKernel) -> int:
+    """Remove dead instructions in place; return how many were removed."""
+    removed_total = 0
+    while True:
+        used: set[int] = set()
+        for i in kernel.instrs:
+            for r in i.regs_read():
+                used.add(r.idx)
+        keep: list[Instr] = []
+        removed = 0
+        for i in kernel.instrs:
+            if (
+                i.op not in _SIDE_EFFECT
+                and i.dst is not None
+                and i.dst.idx not in used
+            ):
+                removed += 1
+                continue
+            keep.append(i)
+        kernel.instrs = keep
+        removed_total += removed
+        if removed == 0:
+            return removed_total

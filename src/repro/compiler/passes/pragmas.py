@@ -1,0 +1,76 @@
+"""Edit unroll pragmas on a kernel — the knob behind Figs. 6 and 7.
+
+The paper's FDTD experiment adds/removes ``#pragma unroll`` at two named
+points ("a": the outer xy-plane loop, "b": the inner radius loop).  These
+helpers rewrite a kernel's pragma set without touching anything else, so
+experiments can build ``CUDA_a,b``, ``CUDA_b``, ``OpenCL_a,b`` ... variants
+from one source kernel.
+"""
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ...kir.stmt import For, If, Kernel, Unroll, While
+
+__all__ = ["set_unroll_point", "strip_unroll_point", "unroll_points"]
+
+
+def _rewrite(body, point: str, pragma: Optional[Unroll]):
+    out = []
+    for s in body:
+        if isinstance(s, For):
+            u = s.unroll
+            if u is not None and u.point == point:
+                u = pragma
+            elif u is None and pragma is not None and pragma.point == point:
+                # adding a pragma requires the loop to be tagged; loops are
+                # tagged by carrying an Unroll whose factor may be 0
+                u = s.unroll
+            out.append(
+                For(s.var, s.start, s.stop, s.step, _rewrite(s.body, point, pragma), u)
+            )
+        elif isinstance(s, If):
+            out.append(
+                If(
+                    s.cond,
+                    _rewrite(s.then, point, pragma),
+                    _rewrite(s.orelse, point, pragma),
+                )
+            )
+        elif isinstance(s, While):
+            out.append(While(s.cond, _rewrite(s.body, point, pragma)))
+        else:
+            out.append(s)
+    return tuple(out)
+
+
+def set_unroll_point(kernel: Kernel, point: str, factor: int) -> Kernel:
+    """Return a copy with the pragma at ``point`` set to ``factor``."""
+    return dataclasses.replace(
+        kernel,
+        body=list(_rewrite(kernel.body, point, Unroll(factor, point))),
+        params=list(kernel.params),
+        shared=list(kernel.shared),
+    )
+
+
+def strip_unroll_point(kernel: Kernel, point: str) -> Kernel:
+    """Return a copy with the pragma at ``point`` removed."""
+    return dataclasses.replace(
+        kernel,
+        body=list(_rewrite(kernel.body, point, None)),
+        params=list(kernel.params),
+        shared=list(kernel.shared),
+    )
+
+
+def unroll_points(kernel: Kernel) -> dict:
+    """Map pragma point name -> factor for every annotated loop."""
+    from ...kir.visit import walk_stmts
+
+    return {
+        s.unroll.point: s.unroll.factor
+        for s in walk_stmts(kernel.body)
+        if isinstance(s, For) and s.unroll is not None and s.unroll.point
+    }

@@ -1,0 +1,266 @@
+"""Loop unrolling — ``#pragma unroll`` and front-end auto-unrolling.
+
+NVOPENCC honors pragmas *and* automatically unrolls any constant-trip
+loop up to its ``auto_unroll_limit``; CLC honors explicit pragmas only.
+This asymmetry is the paper's §IV-B.2 (the FDTD pragma experiments of
+Figs. 6–7) and feeds §IV-B.4 (FFT instruction-mix differences).
+
+Unrolled copies are alpha-renamed so the result still validates, and the
+loop variable is substituted with its per-copy value (a constant for full
+unrolls, ``var + k*step`` for partial ones).
+"""
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable
+
+from ...kir.expr import BinOp, Const, Expr, Var
+from ...kir.stmt import (
+    Assign,
+    Barrier,
+    For,
+    If,
+    Kernel,
+    Let,
+    Stmt,
+    Store,
+    UNROLL_FULL,
+    While,
+)
+from ...kir.visit import map_expr
+
+__all__ = ["unroll_loops", "UnrollReport"]
+
+#: refuse to expand loops beyond this many copies (compile-time guard)
+MAX_EXPANSION = 1024
+
+
+@dataclasses.dataclass
+class UnrollReport:
+    unrolled: list = dataclasses.field(default_factory=list)
+    skipped: list = dataclasses.field(default_factory=list)
+
+    def log_lines(self) -> list:
+        out = [f"unrolled loop over {v!r} ({n} copies)" for v, n in self.unrolled]
+        out += [f"could not unroll loop over {v!r}: {why}" for v, why in self.skipped]
+        return out
+
+
+def _subst(e: Expr, mapping: dict) -> Expr:
+    def repl(n: Expr) -> Expr:
+        if isinstance(n, Var) and n.name in mapping:
+            return mapping[n.name]
+        return n
+
+    return map_expr(e, repl)
+
+
+def _declared_names(body: Iterable[Stmt]) -> set:
+    """Names declared *within* a body (Lets and nested loop variables)."""
+    from ...kir.visit import walk_stmts
+
+    names = set()
+    for s in walk_stmts(body):
+        if isinstance(s, Let):
+            names.add(s.var.name)
+        elif isinstance(s, For):
+            names.add(s.var.name)
+    return names
+
+
+def _rename_body(body, mapping: dict, suffix: str):
+    """Copy a body substituting expressions and alpha-renaming decls.
+
+    ``mapping`` is mutated sequentially at this nesting level (a ``Let``
+    renames all *subsequent* uses of its name in this copy) and copied
+    for nested blocks so branch-local renames do not leak out.
+    """
+    out = []
+    for s in body:
+        if isinstance(s, Let):
+            nv = Var(f"{s.var.name}{suffix}", s.var.vtype)
+            out.append(Let(nv, _subst(s.value, mapping)))
+            mapping[s.var.name] = nv
+        elif isinstance(s, Assign):
+            tgt = mapping.get(s.var.name)
+            if isinstance(tgt, Const):
+                raise ValueError(
+                    f"loop variable {s.var.name!r} is assigned inside an "
+                    "unrolled loop body"
+                )
+            nv = tgt if isinstance(tgt, Var) else s.var
+            out.append(Assign(nv, _subst(s.value, mapping)))
+        elif isinstance(s, Store):
+            out.append(Store(s.buf, _subst(s.index, mapping), _subst(s.value, mapping)))
+        elif isinstance(s, Barrier):
+            out.append(s)
+        elif isinstance(s, If):
+            out.append(
+                If(
+                    _subst(s.cond, mapping),
+                    tuple(_rename_body(s.then, dict(mapping), suffix)),
+                    tuple(_rename_body(s.orelse, dict(mapping), suffix)),
+                )
+            )
+        elif isinstance(s, For):
+            nv = Var(f"{s.var.name}{suffix}", s.var.vtype)
+            inner = dict(mapping)
+            inner[s.var.name] = nv
+            out.append(
+                For(
+                    nv,
+                    _subst(s.start, mapping),
+                    _subst(s.stop, mapping),
+                    _subst(s.step, mapping),
+                    tuple(_rename_body(s.body, inner, suffix)),
+                    s.unroll,
+                )
+            )
+        elif isinstance(s, While):
+            out.append(
+                While(
+                    _subst(s.cond, mapping),
+                    tuple(_rename_body(s.body, dict(mapping), suffix)),
+                )
+            )
+        else:  # pragma: no cover - exhaustive
+            raise TypeError(f"unknown statement {s!r}")
+    return out
+
+
+#: auto-unroll budget: statements after expansion (pragmas are exempt)
+AUTO_UNROLL_BUDGET = 512
+
+
+def _auto_unrollable(s: For, trip: int) -> bool:
+    """Whether NVOPENCC would unroll this loop *without* a pragma.
+
+    Real front ends do not auto-unroll loops containing barriers (the
+    copies would multiply synchronization) and respect a code-growth
+    budget; pragma-annotated loops bypass both checks.
+    """
+    from ...kir.visit import walk_stmts
+
+    body_stmts = 0
+    for st in walk_stmts(s.body):
+        body_stmts += 1
+        if isinstance(st, Barrier):
+            return False
+    return trip * max(body_stmts, 1) <= AUTO_UNROLL_BUDGET
+
+
+def _const_trip(s: For):
+    if (
+        isinstance(s.start, Const)
+        and isinstance(s.stop, Const)
+        and isinstance(s.step, Const)
+        and int(s.step.value) > 0
+    ):
+        lo, hi, st = int(s.start.value), int(s.stop.value), int(s.step.value)
+        if hi <= lo:
+            return 0
+        return (hi - lo + st - 1) // st
+    return None
+
+
+def _expand_full(s: For, report: UnrollReport) -> list:
+    trip = _const_trip(s)
+    lo, st = int(s.start.value), int(s.step.value)
+    out = []
+    for k in range(trip):
+        mapping = {s.var.name: Const(lo + k * st, s.var.vtype)}
+        out.extend(_rename_body(s.body, mapping, f"__u{s.var.name}{k}"))
+    report.unrolled.append((s.var.name, trip))
+    return out
+
+
+def _expand_partial(s: For, factor: int, report: UnrollReport) -> list:
+    """Unroll by ``factor``: main loop with ``factor`` copies + remainder."""
+    trip = _const_trip(s)
+    lo, hi, st = int(s.start.value), int(s.stop.value), int(s.step.value)
+    main_trips = (trip // factor) * factor
+    copies = []
+    for k in range(factor):
+        mapping = {
+            s.var.name: BinOp("add", s.var, Const(k * st, s.var.vtype))
+            if k
+            else s.var
+        }
+        copies.extend(_rename_body(s.body, mapping, f"__p{s.var.name}{k}"))
+    main = For(
+        s.var,
+        s.start,
+        Const(lo + main_trips * st, s.var.vtype),
+        Const(factor * st, s.var.vtype),
+        tuple(copies),
+        None,
+    )
+    out: list = [main]
+    for k in range(main_trips, trip):
+        mapping = {s.var.name: Const(lo + k * st, s.var.vtype)}
+        out.extend(_rename_body(s.body, mapping, f"__r{s.var.name}{k}"))
+    report.unrolled.append((s.var.name, factor))
+    return out
+
+
+def unroll_loops(
+    kernel: Kernel, auto_limit: int = 0, honor_pragmas: bool = True
+) -> tuple:
+    """Return ``(new_kernel, UnrollReport)``.
+
+    ``auto_limit``: full-unroll any *unannotated* constant-trip loop with
+    at most this many iterations (NVOPENCC behaviour; 0 disables).
+    """
+    report = UnrollReport()
+
+    def visit_body(body) -> list:
+        out: list = []
+        for s in body:
+            if isinstance(s, If):
+                out.append(
+                    If(s.cond, tuple(visit_body(s.then)), tuple(visit_body(s.orelse)))
+                )
+            elif isinstance(s, While):
+                out.append(While(s.cond, tuple(visit_body(s.body))))
+            elif isinstance(s, For):
+                s = For(
+                    s.var, s.start, s.stop, s.step, tuple(visit_body(s.body)), s.unroll
+                )
+                trip = _const_trip(s)
+                pragma = s.unroll if honor_pragmas else None
+                if pragma is not None:
+                    if trip is None:
+                        report.skipped.append(
+                            (s.var.name, "trip count not a compile-time constant")
+                        )
+                        out.append(s)
+                    elif pragma.factor == UNROLL_FULL or pragma.factor >= trip:
+                        if trip > MAX_EXPANSION:
+                            report.skipped.append((s.var.name, "loop too large"))
+                            out.append(s)
+                        else:
+                            out.extend(_expand_full(s, report))
+                    elif pragma.factor > 1:
+                        out.extend(_expand_partial(s, pragma.factor, report))
+                    else:
+                        out.append(s)
+                elif (
+                    auto_limit
+                    and trip is not None
+                    and 0 < trip <= auto_limit
+                    and _auto_unrollable(s, trip)
+                ):
+                    out.extend(_expand_full(s, report))
+                else:
+                    out.append(s)
+            else:
+                out.append(s)
+        return out
+
+    new = dataclasses.replace(
+        kernel,
+        body=visit_body(kernel.body),
+        params=list(kernel.params),
+        shared=list(kernel.shared),
+    )
+    return new, report

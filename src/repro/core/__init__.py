@@ -1,0 +1,36 @@
+"""The paper's methodology as a library: PR, fairness, attribution, tuning."""
+from .attribution import Attribution, Factor, attribute_gap
+from .autotune import TuneResult, autotune
+from .comparison import ComparisonOutcome, compare, compare_many
+from .fairness import (
+    ComparisonConfig,
+    FairnessFinding,
+    Role,
+    Step,
+    STEP_ROLES,
+    audit,
+    is_fair,
+)
+from .metrics import PRResult, SIMILARITY_BAND, performance_ratio, similar
+
+__all__ = [
+    "PRResult",
+    "SIMILARITY_BAND",
+    "performance_ratio",
+    "similar",
+    "ComparisonOutcome",
+    "compare",
+    "compare_many",
+    "ComparisonConfig",
+    "FairnessFinding",
+    "Role",
+    "Step",
+    "STEP_ROLES",
+    "audit",
+    "is_fair",
+    "Attribution",
+    "Factor",
+    "attribute_gap",
+    "TuneResult",
+    "autotune",
+]

@@ -1,0 +1,84 @@
+"""Parameter auto-tuner — the paper's proposed future work (§VI).
+
+"We would like to develop an auto-tuner to adapt general-purpose OpenCL
+programs to all available specific platforms."  This is a small,
+honest version of that: exhaustive search over user-supplied discrete
+parameter axes (work-group size, unroll factors, optimization toggles),
+scoring each configuration by the benchmark's own metric on the target
+device.  Deterministic simulation makes the search exactly reproducible.
+"""
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Mapping, Optional, Sequence
+
+from ..arch.specs import DeviceSpec
+from ..benchsuite.base import Benchmark, host_for
+from ..benchsuite.registry import get_benchmark
+
+__all__ = ["TuneResult", "autotune"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TuneResult:
+    benchmark: str
+    device: str
+    api: str
+    best_options: dict
+    best_value: float
+    unit: str
+    #: every evaluated point: (options, value or None on failure)
+    trace: tuple
+
+    def speedup_over(self, baseline_value: float, higher_is_better: bool = True) -> float:
+        if higher_is_better:
+            return self.best_value / baseline_value
+        return baseline_value / self.best_value
+
+
+def autotune(
+    benchmark,
+    spec: DeviceSpec,
+    axes: Mapping[str, Sequence],
+    api: str = "opencl",
+    size: str = "small",
+) -> TuneResult:
+    """Exhaustively tune ``axes`` (option name -> candidate values)."""
+    if isinstance(benchmark, str):
+        benchmark = get_benchmark(benchmark)
+    assert isinstance(benchmark, Benchmark)
+    names = sorted(axes)
+    best_opts: Optional[dict] = None
+    best_val: Optional[float] = None
+    trace = []
+    for combo in itertools.product(*(axes[n] for n in names)):
+        opts = dict(zip(names, combo))
+        try:
+            res = benchmark.run(host_for(api, spec), size=size, options=opts)
+        except Exception:
+            trace.append((opts, None))
+            continue
+        if not res.ok():
+            trace.append((opts, None))
+            continue
+        score = res.value if benchmark.metric.higher_is_better else -res.value
+        trace.append((opts, res.value))
+        if best_val is None or score > (
+            best_val if benchmark.metric.higher_is_better else -best_val
+        ):
+            best_val = res.value
+            best_opts = opts
+    if best_opts is None:
+        raise RuntimeError(
+            f"no working configuration found for {benchmark.name} on {spec.name}"
+        )
+    return TuneResult(
+        benchmark=benchmark.name,
+        device=spec.name,
+        api=api,
+        best_options=best_opts,
+        best_value=best_val,
+        unit=benchmark.metric.unit,
+        trace=tuple(trace),
+    )

@@ -1,0 +1,80 @@
+"""The Performance Ratio — Equation (1) of the paper.
+
+``PR = Performance_OpenCL / Performance_CUDA``, computed on each
+benchmark's own metric (Table II).  For time-valued metrics ("sec"),
+performance is the reciprocal of the measurement, so PR < 1 always means
+"OpenCL is slower".  The paper deems the two models *similar* when
+``|1 - PR| < 0.1``.
+"""
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional
+
+from ..benchsuite.base import BenchResult, Metric
+
+__all__ = ["SIMILARITY_BAND", "performance_ratio", "PRResult", "similar"]
+
+#: the paper's similarity threshold: |1 - PR| < 0.1
+SIMILARITY_BAND = 0.1
+
+
+def _as_performance(value: float, metric: Metric) -> float:
+    """Convert a measurement to a 'higher is better' performance number."""
+    if metric.higher_is_better:
+        return value
+    if value <= 0:
+        raise ValueError(f"non-positive time measurement: {value}")
+    return 1.0 / value
+
+
+def performance_ratio(
+    opencl_value: float, cuda_value: float, metric: Metric
+) -> float:
+    """Equation (1) on raw metric values."""
+    po = _as_performance(opencl_value, metric)
+    pc = _as_performance(cuda_value, metric)
+    if pc == 0:
+        raise ValueError("CUDA performance is zero; PR undefined")
+    return po / pc
+
+
+def similar(pr: float, band: float = SIMILARITY_BAND) -> bool:
+    """The paper's similarity criterion ``|1 - PR| < band``."""
+    return abs(1.0 - pr) < band
+
+
+@dataclasses.dataclass(frozen=True)
+class PRResult:
+    """A paired CUDA/OpenCL measurement with its PR."""
+
+    benchmark: str
+    device: str
+    cuda: BenchResult
+    opencl: BenchResult
+    pr: float
+
+    @property
+    def similar(self) -> bool:
+        return similar(self.pr)
+
+    @property
+    def verdict(self) -> str:
+        if math.isnan(self.pr):
+            return "n/a"
+        if self.similar:
+            return "similar"
+        return "OpenCL slower" if self.pr < 1 else "OpenCL faster"
+
+    @classmethod
+    def from_pair(
+        cls, cuda: BenchResult, opencl: BenchResult, metric: Metric
+    ) -> "PRResult":
+        if cuda.benchmark != opencl.benchmark or cuda.device != opencl.device:
+            raise ValueError("PR pairs must share benchmark and device")
+        if not (cuda.ok() and opencl.ok()):
+            pr = float("nan")
+        else:
+            pr = performance_ratio(opencl.value, cuda.value, metric)
+        return cls(cuda.benchmark, cuda.device, cuda, opencl, pr)

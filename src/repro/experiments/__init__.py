@@ -1,0 +1,29 @@
+"""Experiment harness: one module per figure/table of the paper."""
+from . import (
+    fig1_bandwidth,
+    fig2_flops,
+    fig3_pr,
+    fig4_texture,
+    fig5_texture_pr,
+    fig6_unroll,
+    fig7_unroll_pr,
+    fig8_constmem,
+    table5_ptx,
+    table6_portability,
+)
+from .report import ExperimentResult
+
+EXPERIMENTS = {
+    "fig1": fig1_bandwidth,
+    "fig2": fig2_flops,
+    "fig3": fig3_pr,
+    "fig4": fig4_texture,
+    "fig5": fig5_texture_pr,
+    "fig6": fig6_unroll,
+    "fig7": fig7_unroll_pr,
+    "fig8": fig8_constmem,
+    "table5": table5_ptx,
+    "table6": table6_portability,
+}
+
+__all__ = ["EXPERIMENTS", "ExperimentResult"]

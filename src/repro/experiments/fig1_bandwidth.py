@@ -1,0 +1,59 @@
+"""Fig. 1 — peak device-memory bandwidth, CUDA vs OpenCL vs theoretical.
+
+Paper observations to reproduce in shape:
+* TP_BW = 141.7 GB/s (GTX280), 177.4 GB/s (GTX480) — Eq. (2) exactly;
+* OpenCL achieves 68.6% / 87.7% of TP;
+* OpenCL's AP_BW >= CUDA's (paper: +8.5% / +2.4%).
+"""
+from __future__ import annotations
+
+from ..arch.peak import theoretical_bandwidth_gbs
+from ..arch.specs import GTX280, GTX480
+from ..benchsuite.base import host_for
+from ..benchsuite.registry import get_benchmark
+from .report import ExperimentResult
+
+__all__ = ["run"]
+
+PAPER_FRACTION = {"GTX280": 0.686, "GTX480": 0.877}
+PAPER_OPENCL_ADVANTAGE = {"GTX280": 1.085, "GTX480": 1.024}
+
+
+def run(size: str = "default") -> ExperimentResult:
+    res = ExperimentResult(
+        "fig1",
+        "Peak bandwidth comparison (DeviceMemory, work-group 256)",
+        ["device", "TP_BW (GB/s)", "CUDA AP (GB/s)", "OpenCL AP (GB/s)", "OpenCL %TP", "OpenCL/CUDA"],
+        [],
+    )
+    for spec in (GTX280, GTX480):
+        bench = get_benchmark("DeviceMemory")
+        cuda = bench.run(host_for("cuda", spec), size=size)
+        ocl = bench.run(host_for("opencl", spec), size=size)
+        tp = theoretical_bandwidth_gbs(spec)
+        frac = ocl.value / tp
+        adv = ocl.value / cuda.value
+        res.add(
+            **{
+                "device": spec.name,
+                "TP_BW (GB/s)": tp,
+                "CUDA AP (GB/s)": cuda.value,
+                "OpenCL AP (GB/s)": ocl.value,
+                "OpenCL %TP": 100 * frac,
+                "OpenCL/CUDA": adv,
+            }
+        )
+        paper_f = PAPER_FRACTION[spec.name]
+        res.check(
+            f"{spec.name}: OpenCL reaches a similar fraction of TP",
+            f"{100 * paper_f:.1f}%",
+            f"{100 * frac:.1f}%",
+            abs(frac - paper_f) < 0.12,
+        )
+        res.check(
+            f"{spec.name}: OpenCL not slower than CUDA",
+            f"x{PAPER_OPENCL_ADVANTAGE[spec.name]:.3f}",
+            f"x{adv:.3f}",
+            adv > 0.97,
+        )
+    return res

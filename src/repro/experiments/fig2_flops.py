@@ -1,0 +1,54 @@
+"""Fig. 2 — peak floating-point throughput, CUDA vs OpenCL vs theoretical.
+
+Paper: TP = 933.12 / 1344.96 GFlops (Eq. 3, R=3 GT200, R=2 Fermi);
+achieved peaks ~71.5% / ~97.7% of TP with CUDA and OpenCL nearly equal.
+"""
+from __future__ import annotations
+
+from ..arch.peak import theoretical_flops_gfs
+from ..arch.specs import GTX280, GTX480
+from ..benchsuite.base import host_for
+from ..benchsuite.registry import get_benchmark
+from .report import ExperimentResult
+
+__all__ = ["run"]
+
+PAPER_FRACTION = {"GTX280": 0.715, "GTX480": 0.977}
+
+
+def run(size: str = "default") -> ExperimentResult:
+    res = ExperimentResult(
+        "fig2",
+        "Peak FLOPS comparison (MaxFlops; mul+mad on GT200, mad-only on Fermi)",
+        ["device", "TP (GFlops)", "CUDA AP", "OpenCL AP", "OpenCL %TP", "OpenCL/CUDA"],
+        [],
+    )
+    for spec in (GTX280, GTX480):
+        bench = get_benchmark("MaxFlops")
+        cuda = bench.run(host_for("cuda", spec), size=size)
+        ocl = bench.run(host_for("opencl", spec), size=size)
+        tp = theoretical_flops_gfs(spec)
+        frac = ocl.value / tp
+        res.add(
+            **{
+                "device": spec.name,
+                "TP (GFlops)": tp,
+                "CUDA AP": cuda.value,
+                "OpenCL AP": ocl.value,
+                "OpenCL %TP": 100 * frac,
+                "OpenCL/CUDA": ocl.value / cuda.value,
+            }
+        )
+        res.check(
+            f"{spec.name}: achieved fraction of TP in band",
+            f"{100 * PAPER_FRACTION[spec.name]:.1f}%",
+            f"{100 * frac:.1f}%",
+            abs(frac - PAPER_FRACTION[spec.name]) < 0.15,
+        )
+        res.check(
+            f"{spec.name}: CUDA and OpenCL near-equal",
+            "~1.0",
+            f"{ocl.value / cuda.value:.3f}",
+            0.85 < ocl.value / cuda.value < 1.2,
+        )
+    return res

@@ -1,0 +1,57 @@
+"""Fig. 4 — performance impact of texture memory (CUDA, MD & SPMV).
+
+Paper: removing texture drops performance to 87.6% / 65.1% (GTX280,
+MD / SPMV) and 59.6% / 44.3% (GTX480) of the textured version.
+"""
+from __future__ import annotations
+
+from ..arch.specs import GTX280, GTX480
+from ..benchsuite.base import host_for
+from ..benchsuite.registry import get_benchmark
+from .report import ExperimentResult
+
+__all__ = ["run"]
+
+PAPER_RETENTION = {
+    ("MD", "GTX280"): 0.876,
+    ("SPMV", "GTX280"): 0.651,
+    ("MD", "GTX480"): 0.596,
+    ("SPMV", "GTX480"): 0.443,
+}
+
+
+def run(size: str = "default") -> ExperimentResult:
+    res = ExperimentResult(
+        "fig4",
+        "Texture memory impact on the CUDA versions of MD and SPMV",
+        ["benchmark", "device", "with tex", "without tex", "retention", "paper retention"],
+        [],
+    )
+    for name in ("MD", "SPMV"):
+        for spec in (GTX280, GTX480):
+            bench = get_benchmark(name)
+            with_tex = bench.run(
+                host_for("cuda", spec), size=size, options={"use_texture": True}
+            )
+            wo_tex = bench.run(
+                host_for("cuda", spec), size=size, options={"use_texture": False}
+            )
+            retention = wo_tex.value / with_tex.value
+            paper = PAPER_RETENTION[(name, spec.name)]
+            res.add(
+                benchmark=name,
+                device=spec.name,
+                **{
+                    "with tex": with_tex.value,
+                    "without tex": wo_tex.value,
+                    "retention": retention,
+                    "paper retention": paper,
+                },
+            )
+            res.check(
+                f"{name}/{spec.name}: texture removal hurts",
+                f"drops to {100 * paper:.1f}%",
+                f"drops to {100 * retention:.1f}%",
+                retention < 0.97,
+            )
+    return res

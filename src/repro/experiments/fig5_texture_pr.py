@@ -1,0 +1,46 @@
+"""Fig. 5 — PR before and after removing texture memory (MD & SPMV).
+
+Paper: once the CUDA versions stop using texture memory, the PR returns
+to the similarity band — the gap was a programming-model difference,
+not an OpenCL deficiency.
+"""
+from __future__ import annotations
+
+from ..arch.specs import GTX280, GTX480
+from ..core.comparison import compare
+from ..core.metrics import SIMILARITY_BAND
+from .report import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(size: str = "default") -> ExperimentResult:
+    res = ExperimentResult(
+        "fig5",
+        "PR before/after removing texture memory from CUDA (MD, SPMV)",
+        ["benchmark", "device", "PR before", "PR after", "after in band?"],
+        [],
+    )
+    for name in ("MD", "SPMV"):
+        for spec in (GTX280, GTX480):
+            before = compare(name, spec, size=size)
+            after = compare(
+                name, spec, size=size, cuda_options={"use_texture": False}
+            )
+            in_band = abs(1 - after.pr.pr) < 2.5 * SIMILARITY_BAND
+            res.add(
+                benchmark=name,
+                device=spec.name,
+                **{
+                    "PR before": before.pr.pr,
+                    "PR after": after.pr.pr,
+                    "after in band?": "yes" if in_band else "no",
+                },
+            )
+            res.check(
+                f"{name}/{spec.name}: fair comparison closes the gap",
+                "PR ~1 after removal",
+                f"{before.pr.pr:.2f} -> {after.pr.pr:.2f}",
+                abs(1 - after.pr.pr) < abs(1 - before.pr.pr) + 0.02 and in_band,
+            )
+    return res

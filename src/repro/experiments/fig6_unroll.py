@@ -1,0 +1,49 @@
+"""Fig. 6 — loop-unrolling impact on FDTD (CUDA only).
+
+Paper: removing ``#pragma unroll 9`` at point *a* drops CUDA performance
+to 85.1% (GTX280) / 82.6% (GTX480) of the pragma'd version.
+"""
+from __future__ import annotations
+
+from ..arch.specs import GTX280, GTX480
+from ..benchsuite.base import host_for
+from ..benchsuite.registry import get_benchmark
+from .report import ExperimentResult
+
+__all__ = ["run"]
+
+PAPER_RETENTION = {"GTX280": 0.851, "GTX480": 0.826}
+
+
+def run(size: str = "default") -> ExperimentResult:
+    res = ExperimentResult(
+        "fig6",
+        "FDTD (CUDA) with vs without #pragma unroll at point a",
+        ["device", "with a (MPts/s)", "without a", "retention", "paper retention"],
+        [],
+    )
+    for spec in (GTX280, GTX480):
+        bench = get_benchmark("FDTD")
+        with_a = bench.run(
+            host_for("cuda", spec), size=size, options={"unroll_a": 9}
+        )
+        wo_a = bench.run(
+            host_for("cuda", spec), size=size, options={"unroll_a": None}
+        )
+        retention = wo_a.value / with_a.value
+        res.add(
+            device=spec.name,
+            **{
+                "with a (MPts/s)": with_a.value,
+                "without a": wo_a.value,
+                "retention": retention,
+                "paper retention": PAPER_RETENTION[spec.name],
+            },
+        )
+        res.check(
+            f"{spec.name}: removing the pragma costs ~15%",
+            f"{100 * PAPER_RETENTION[spec.name]:.1f}%",
+            f"{100 * retention:.1f}%",
+            retention < 0.98,
+        )
+    return res

@@ -1,0 +1,65 @@
+"""Fig. 8 — Sobel kernel time with and without constant memory.
+
+Paper: on GTX280 the kernel runs ~4x faster with the filter in constant
+memory (GT200 has no global-read cache, the constant cache broadcast is
+the only cached path); on GTX480 there is hardly any change because the
+Fermi L1/L2 catch the filter reads anyway.
+"""
+from __future__ import annotations
+
+from ..arch.specs import GTX280, GTX480
+from ..benchsuite.base import host_for
+from ..benchsuite.registry import get_benchmark
+from .report import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(size: str = "default") -> ExperimentResult:
+    res = ExperimentResult(
+        "fig8",
+        "Sobel kernel time with/without constant memory (both APIs)",
+        ["api", "device", "const (us)", "no const (us)", "speedup from const"],
+        [],
+    )
+    speedups = {}
+    for api in ("cuda", "opencl"):
+        for spec in (GTX280, GTX480):
+            bench = get_benchmark("Sobel")
+            with_c = bench.run(
+                host_for(api, spec), size=size, options={"use_constant": True}
+            )
+            wo_c = bench.run(
+                host_for(api, spec), size=size, options={"use_constant": False}
+            )
+            speedup = wo_c.kernel_seconds / with_c.kernel_seconds
+            speedups[(api, spec.name)] = speedup
+            res.add(
+                api=api,
+                device=spec.name,
+                **{
+                    "const (us)": with_c.kernel_seconds * 1e6,
+                    "no const (us)": wo_c.kernel_seconds * 1e6,
+                    "speedup from const": speedup,
+                },
+            )
+    res.check(
+        "GTX280: constant memory is a large win (no global cache)",
+        "~4x (time drops to one quarter)",
+        f"{speedups[('cuda', 'GTX280')]:.2f}x (CUDA), "
+        f"{speedups[('opencl', 'GTX280')]:.2f}x (OpenCL)",
+        speedups[("cuda", "GTX280")] > 1.5,
+    )
+    res.check(
+        "GTX480: few changes (Fermi caches global reads)",
+        "~1x",
+        f"{speedups[('cuda', 'GTX480')]:.2f}x (CUDA)",
+        speedups[("cuda", "GTX480")] < 1.35,
+    )
+    res.check(
+        "the win is much larger on GTX280 than GTX480",
+        "4x vs ~1x",
+        f"{speedups[('cuda', 'GTX280')]:.2f}x vs {speedups[('cuda', 'GTX480')]:.2f}x",
+        speedups[("cuda", "GTX280")] > 1.6 * speedups[("cuda", "GTX480")],
+    )
+    return res

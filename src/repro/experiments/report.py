@@ -1,0 +1,68 @@
+"""Experiment result container + ASCII rendering."""
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Iterable, Optional
+
+__all__ = ["ExperimentResult", "fmt"]
+
+
+def fmt(v, nd: int = 3) -> str:
+    if v is None:
+        return "-"
+    if isinstance(v, float):
+        if math.isnan(v):
+            return "n/a"
+        if v != 0 and (abs(v) < 10 ** (-nd) or abs(v) >= 1e6):
+            return f"{v:.3g}"
+        return f"{v:.{nd}f}"
+    return str(v)
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """Rows + provenance for one regenerated figure or table."""
+
+    experiment: str  # e.g. "fig1"
+    title: str
+    columns: list
+    rows: list  # list of dicts keyed by column name
+    notes: list = dataclasses.field(default_factory=list)
+    #: free-form paper-vs-measured records for EXPERIMENTS.md
+    checks: list = dataclasses.field(default_factory=list)
+
+    def add(self, **row) -> None:
+        self.rows.append(row)
+
+    def check(self, what: str, paper, measured, holds: bool) -> None:
+        self.checks.append(
+            {"what": what, "paper": paper, "measured": measured, "holds": holds}
+        )
+
+    def render(self) -> str:
+        widths = {
+            c: max(len(str(c)), *(len(fmt(r.get(c))) for r in self.rows))
+            if self.rows
+            else len(str(c))
+            for c in self.columns
+        }
+        head = " | ".join(f"{c:>{widths[c]}}" for c in self.columns)
+        sep = "-+-".join("-" * widths[c] for c in self.columns)
+        lines = [f"== {self.experiment}: {self.title} ==", head, sep]
+        for r in self.rows:
+            lines.append(
+                " | ".join(f"{fmt(r.get(c)):>{widths[c]}}" for c in self.columns)
+            )
+        if self.checks:
+            lines.append("")
+            lines.append("shape checks vs paper:")
+            for c in self.checks:
+                mark = "PASS" if c["holds"] else "MISS"
+                lines.append(
+                    f"  [{mark}] {c['what']}: paper={c['paper']} "
+                    f"measured={c['measured']}"
+                )
+        for n in self.notes:
+            lines.append(f"note: {n}")
+        return "\n".join(lines)

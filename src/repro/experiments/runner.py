@@ -1,0 +1,57 @@
+"""CLI: regenerate any figure/table of the paper.
+
+Usage::
+
+    python -m repro.experiments fig1 [fig3 ...] [--size small|default]
+    python -m repro.experiments all --size default
+"""
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import EXPERIMENTS
+
+__all__ = ["main", "run_experiment"]
+
+
+def run_experiment(name: str, size: str = "default"):
+    try:
+        mod = EXPERIMENTS[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown experiment {name!r}; available: {', '.join(EXPERIMENTS)}"
+        )
+    return mod.run(size=size)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the figures/tables of Fang et al., ICPP 2011",
+    )
+    ap.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"one or more of: {', '.join(EXPERIMENTS)}, or 'all'",
+    )
+    ap.add_argument("--size", default="default", choices=["small", "default"])
+    args = ap.parse_args(argv)
+
+    names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    failures = 0
+    for name in names:
+        t0 = time.time()
+        res = run_experiment(name, size=args.size)
+        print(res.render())
+        print(f"({time.time() - t0:.1f}s)")
+        print()
+        failures += sum(1 for c in res.checks if not c["holds"])
+    if failures:
+        print(f"{failures} shape check(s) did not hold", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,97 @@
+"""Table V — PTX instruction statistics for the FFT "forward" kernel.
+
+The paper counts static instructions in the PTX emitted by the two
+front-end compilers for the *same* kernel source.  The shape to hold:
+
+* OpenCL has ~2x more arithmetic instructions;
+* OpenCL has many logic/shift instructions, CUDA nearly none;
+* OpenCL has many flow-control instructions, CUDA nearly none;
+* CUDA has far more data-movement instructions, dominated by ``mov``;
+* the time-consuming memory instructions (ld/st.global, ld/st.shared)
+  and the barriers are identical.
+"""
+from __future__ import annotations
+
+from ..benchsuite.apps.fft import _forward_kernel
+from ..compiler import compile_cuda, compile_opencl
+from ..kir.dialect import CUDA, OPENCL
+from ..ptx.isa import IClass
+from ..ptx.stats import class_totals, histogram, table
+from .report import ExperimentResult
+
+__all__ = ["run", "compiled_pair"]
+
+
+def compiled_pair(max_regs: int = 124):
+    kc = compile_cuda(_forward_kernel(CUDA), max_regs=max_regs)
+    ko = compile_opencl(_forward_kernel(OPENCL), max_regs=max_regs)
+    return kc, ko
+
+
+def run(size: str = "default") -> ExperimentResult:
+    kc, ko = compiled_pair()
+    hc, ho = histogram(kc), histogram(ko)
+    tc, to = class_totals(hc), class_totals(ho)
+
+    res = ExperimentResult(
+        "table5",
+        'PTX instruction statistics, FFT "forward" kernel',
+        ["class", "CUDA", "OpenCL"],
+        [],
+        notes=[table(kc, ko)],
+    )
+    for klass in (
+        IClass.ARITHMETIC,
+        IClass.LOGIC,
+        IClass.DATA,
+        IClass.FLOW,
+        IClass.SYNC,
+    ):
+        res.add(
+            **{"class": klass.value, "CUDA": tc.get(klass, 0), "OpenCL": to.get(klass, 0)}
+        )
+    res.add(
+        **{"class": "Total", "CUDA": sum(tc.values()), "OpenCL": sum(to.values())}
+    )
+
+    res.check(
+        "OpenCL emits far more arithmetic",
+        "521 vs 220 (~2.4x)",
+        f"{to[IClass.ARITHMETIC]} vs {tc[IClass.ARITHMETIC]}",
+        to[IClass.ARITHMETIC] > 1.2 * tc[IClass.ARITHMETIC],
+    )
+    res.check(
+        "OpenCL emits many logic/shift instructions, CUDA nearly none",
+        "163 vs 4",
+        f"{to[IClass.LOGIC]} vs {tc[IClass.LOGIC]}",
+        to[IClass.LOGIC] >= 5 * max(tc[IClass.LOGIC], 1),
+    )
+    res.check(
+        "OpenCL emits more flow control",
+        "188 vs 4",
+        f"{to[IClass.FLOW]} vs {tc[IClass.FLOW]}",
+        to[IClass.FLOW] > tc[IClass.FLOW],
+    )
+    res.check(
+        "CUDA is data-movement heavy (mov dominates)",
+        "1131 vs 351, mov=687",
+        f"{tc[IClass.DATA]} vs {to[IClass.DATA]}, mov={hc.get('mov', 0)}",
+        tc[IClass.DATA] > to[IClass.DATA] and hc.get("mov", 0) > 3 * ho.get("mov", 1),
+    )
+    mem_same = all(
+        hc.get(k, 0) == ho.get(k, 0)
+        for k in ("ld.global", "st.global", "ld.shared", "st.shared", "bar")
+    )
+    res.check(
+        "time-consuming memory instructions identical",
+        "ld/st.global, ld/st.shared, bar equal",
+        "equal" if mem_same else "differ",
+        mem_same,
+    )
+    res.check(
+        "CUDA emits no integer/float division (strength-reduced or folded)",
+        "div=0",
+        f"div={hc.get('div', 0)}",
+        hc.get("div", 0) == 0 and ho.get("div", 0) > 0,
+    )
+    return res

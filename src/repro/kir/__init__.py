@@ -1,0 +1,79 @@
+"""Kernel IR: the dialect-neutral language both front-ends compile.
+
+Public surface:
+
+* :class:`KernelBuilder` with the :data:`CUDA` / :data:`OPENCL` dialects;
+* the expression/statement node types for pass authors;
+* :func:`render` (pretty-print back to C-like source);
+* :func:`eval_kernel` (reference evaluator used as a test oracle).
+"""
+from .builder import KernelBuilder
+from .dialect import CUDA, Dialect, OPENCL
+from .eval import eval_kernel
+from .expr import (
+    BinOp,
+    BufferRef,
+    Const,
+    Expr,
+    Load,
+    Select,
+    SpecialReg,
+    SReg,
+    UnOp,
+    Var,
+    as_expr,
+)
+from .pretty import render, render_expr
+from .stmt import (
+    Assign,
+    Barrier,
+    For,
+    If,
+    Kernel,
+    Let,
+    ScalarParam,
+    Store,
+    Unroll,
+    UNROLL_FULL,
+    While,
+)
+from .types import AddrSpace, Scalar, np_dtype, sizeof
+from .validate import KernelValidationError, validate
+
+__all__ = [
+    "KernelBuilder",
+    "CUDA",
+    "OPENCL",
+    "Dialect",
+    "eval_kernel",
+    "render",
+    "render_expr",
+    "validate",
+    "KernelValidationError",
+    "Kernel",
+    "ScalarParam",
+    "BufferRef",
+    "Scalar",
+    "AddrSpace",
+    "np_dtype",
+    "sizeof",
+    "Expr",
+    "Const",
+    "Var",
+    "SpecialReg",
+    "SReg",
+    "BinOp",
+    "UnOp",
+    "Select",
+    "Load",
+    "as_expr",
+    "Let",
+    "Assign",
+    "Store",
+    "If",
+    "For",
+    "While",
+    "Barrier",
+    "Unroll",
+    "UNROLL_FULL",
+]

@@ -1,0 +1,291 @@
+"""Imperative builder DSL for authoring kernels in either dialect.
+
+A :class:`KernelBuilder` gives kernels a shape close to their CUDA C /
+OpenCL C originals::
+
+    k = KernelBuilder("vecadd", CUDA)
+    a, b, c = (k.buffer(n, Scalar.F32) for n in "abc")
+    n = k.scalar("n", Scalar.S32)
+    i = k.let("i", k.global_id(0))
+    with k.if_(i < n):
+        k.store(c, i, a[i] + b[i])
+    kern = k.finish()
+
+Control-flow constructs are context managers so nesting follows Python
+indentation.  The builder performs dialect feature gating (texture loads
+are rejected under OpenCL) and defers full validation to
+:mod:`repro.kir.validate`.
+"""
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional, Union
+
+from .dialect import CUDA, Dialect
+from .expr import (
+    BufferRef,
+    Const,
+    Expr,
+    ExprLike,
+    Load,
+    Select,
+    SpecialReg,
+    SReg,
+    UnOp,
+    Var,
+    as_expr,
+)
+from .stmt import (
+    Assign,
+    Barrier,
+    For,
+    If,
+    Kernel,
+    Let,
+    ScalarParam,
+    Store,
+    Unroll,
+    UNROLL_FULL,
+    While,
+)
+from .types import AddrSpace, Scalar
+from .validate import validate
+
+__all__ = ["KernelBuilder"]
+
+_DIMS = "xyz"
+
+
+class _Axis3:
+    """``k.tid.x`` style access to the geometry registers."""
+
+    def __init__(self, prefix: str):
+        for d in _DIMS:
+            setattr(self, d, SpecialReg(SReg(f"{prefix}.{d}")))
+
+
+class KernelBuilder:
+    def __init__(self, name: str, dialect: Dialect = CUDA, wg_hint: int = 256):
+        self.name = name
+        self.dialect = dialect
+        self.wg_hint = wg_hint
+        self._params: list[Union[ScalarParam, BufferRef]] = []
+        self._shared: list[BufferRef] = []
+        self._stack: list[list] = [[]]
+        self._names: set[str] = set()
+        self._var_counter = 0
+        # geometry registers under both naming traditions
+        self.tid = _Axis3("tid")
+        self.ctaid = _Axis3("ctaid")
+        self.ntid = _Axis3("ntid")
+        self.nctaid = _Axis3("nctaid")
+
+    # -- parameters ------------------------------------------------------
+    def _claim(self, name: str) -> str:
+        if name in self._names:
+            raise ValueError(f"duplicate name {name!r} in kernel {self.name}")
+        self._names.add(name)
+        return name
+
+    def buffer(
+        self, name: str, elem: Scalar, space: AddrSpace = AddrSpace.GLOBAL
+    ) -> BufferRef:
+        """Declare a pointer parameter in ``space`` (GLOBAL or CONST)."""
+        if space not in (AddrSpace.GLOBAL, AddrSpace.CONST):
+            raise ValueError("buffer parameters must be GLOBAL or CONST")
+        b = BufferRef(self._claim(name), elem, space)
+        self._params.append(b)
+        return b
+
+    def scalar(self, name: str, dtype: Scalar = Scalar.S32) -> Var:
+        self._params.append(ScalarParam(self._claim(name), dtype))
+        return Var(name, dtype)
+
+    def shared(self, name: str, elem: Scalar, length: int) -> BufferRef:
+        """Declare a statically-sized __shared__ / __local scratch buffer."""
+        b = BufferRef(self._claim(name), elem, AddrSpace.SHARED, length)
+        self._shared.append(b)
+        return b
+
+    # -- common derived indices -------------------------------------------
+    def global_id(self, dim: int = 0) -> Expr:
+        """``blockIdx*blockDim + threadIdx`` / ``get_global_id``."""
+        d = _DIMS[dim]
+        return getattr(self.ctaid, d) * getattr(self.ntid, d) + getattr(self.tid, d)
+
+    def global_size(self, dim: int = 0) -> Expr:
+        d = _DIMS[dim]
+        return getattr(self.nctaid, d) * getattr(self.ntid, d)
+
+    # -- statements --------------------------------------------------------
+    def _emit(self, s) -> None:
+        self._stack[-1].append(s)
+
+    def let(self, name: str, value: ExprLike, dtype: Optional[Scalar] = None) -> Var:
+        value = as_expr(value)
+        v = Var(self._claim(name), dtype or value.dtype)
+        self._emit(Let(v, value))
+        return v
+
+    def fresh(self, value: ExprLike, hint: str = "t") -> Var:
+        """``let`` with an auto-generated name."""
+        self._var_counter += 1
+        return self.let(f"{hint}{self._var_counter}", value)
+
+    def assign(self, var: Var, value: ExprLike) -> None:
+        self._emit(Assign(var, as_expr(value, like=var)))
+
+    def store(self, buf: BufferRef, index: ExprLike, value: ExprLike) -> None:
+        idx = as_expr(index)
+        self._emit(Store(buf, idx, as_expr(value)))
+
+    def barrier(self) -> None:
+        self._emit(Barrier())
+
+    # -- loads with feature gating ------------------------------------------
+    def texload(self, buf: BufferRef, index: ExprLike) -> Load:
+        """CUDA ``tex1Dfetch``.  Rejected when building OpenCL kernels."""
+        if not self.dialect.allows_texture:
+            raise TypeError(
+                f"texture fetches are not available in the {self.dialect.name} dialect"
+            )
+        return Load(buf, as_expr(index), via_texture=True)
+
+    # -- control flow --------------------------------------------------------
+    @contextlib.contextmanager
+    def if_(self, cond: Expr) -> Iterator[None]:
+        self._stack.append([])
+        yield
+        then = tuple(self._stack.pop())
+        self._emit(If(as_expr(cond), then))
+
+    @contextlib.contextmanager
+    def if_else(self, cond: Expr) -> Iterator[list]:
+        """``with k.if_else(c) as orelse:`` — append else-branch builders
+        by calling ``orelse.append`` ... use :meth:`else_` instead for
+        statement building; this yields a marker the user calls."""
+        self._stack.append([])
+        marker: list = []
+        yield marker
+        then = tuple(self._stack.pop())
+        self._emit(If(as_expr(cond), then, tuple(marker)))
+
+    @contextlib.contextmanager
+    def collect(self) -> Iterator[list]:
+        """Capture statements into a list (for else-branches)."""
+        self._stack.append([])
+        out: list = []
+        yield out
+        out.extend(self._stack.pop())
+
+    def emit_if(self, cond: Expr, then: list, orelse: list = ()) -> None:
+        self._emit(If(as_expr(cond), tuple(then), tuple(orelse)))
+
+    @contextlib.contextmanager
+    def for_(
+        self,
+        name: str,
+        start: ExprLike,
+        stop: ExprLike,
+        step: ExprLike = 1,
+        unroll: Optional[Unroll] = None,
+        dtype: Scalar = Scalar.S32,
+    ) -> Iterator[Var]:
+        v = Var(self._claim(name), dtype)
+        self._stack.append([])
+        yield v
+        body = tuple(self._stack.pop())
+        self._emit(
+            For(v, as_expr(start), as_expr(stop), as_expr(step), body, unroll)
+        )
+
+    @contextlib.contextmanager
+    def while_(self, cond: Expr) -> Iterator[None]:
+        self._stack.append([])
+        yield
+        body = tuple(self._stack.pop())
+        self._emit(While(as_expr(cond), body))
+
+    def unroll(self, factor: int = UNROLL_FULL, point: str = "") -> Unroll:
+        """Create a ``#pragma unroll`` annotation for :meth:`for_`."""
+        return Unroll(factor, point)
+
+    # -- math helpers -----------------------------------------------------
+    @staticmethod
+    def sqrt(x: ExprLike) -> UnOp:
+        return UnOp("sqrt", as_expr(x))
+
+    @staticmethod
+    def rsqrt(x: ExprLike) -> UnOp:
+        return UnOp("rsqrt", as_expr(x))
+
+    @staticmethod
+    def sin(x: ExprLike) -> UnOp:
+        return UnOp("sin", as_expr(x))
+
+    @staticmethod
+    def cos(x: ExprLike) -> UnOp:
+        return UnOp("cos", as_expr(x))
+
+    @staticmethod
+    def exp(x: ExprLike) -> UnOp:
+        return UnOp("exp", as_expr(x))
+
+    @staticmethod
+    def abs(x: ExprLike) -> UnOp:
+        return UnOp("abs", as_expr(x))
+
+    @staticmethod
+    def floor(x: ExprLike) -> UnOp:
+        return UnOp("floor", as_expr(x))
+
+    @staticmethod
+    def f2i(x: ExprLike) -> UnOp:
+        return UnOp("f2i", as_expr(x))
+
+    @staticmethod
+    def i2f(x: ExprLike) -> UnOp:
+        return UnOp("i2f", as_expr(x))
+
+    @staticmethod
+    def f2u(x: ExprLike) -> UnOp:
+        return UnOp("f2u", as_expr(x))
+
+    @staticmethod
+    def u2f(x: ExprLike) -> UnOp:
+        return UnOp("u2f", as_expr(x))
+
+    @staticmethod
+    def select(pred: Expr, a: ExprLike, b: ExprLike) -> Select:
+        a = as_expr(a)
+        return Select(pred, a, as_expr(b, like=a))
+
+    @staticmethod
+    def min(a: ExprLike, b: ExprLike):
+        a = as_expr(a)
+        return a._bin("min", b)
+
+    @staticmethod
+    def max(a: ExprLike, b: ExprLike):
+        a = as_expr(a)
+        return a._bin("max", b)
+
+    @staticmethod
+    def const(v, dtype: Scalar = Scalar.S32) -> Const:
+        return Const(v, dtype)
+
+    # -- finish -----------------------------------------------------------
+    def finish(self, check: bool = True) -> Kernel:
+        if len(self._stack) != 1:
+            raise RuntimeError("unbalanced control-flow context managers")
+        k = Kernel(
+            name=self.name,
+            params=list(self._params),
+            body=list(self._stack[0]),
+            dialect=self.dialect.name,
+            shared=list(self._shared),
+            wg_hint=self.wg_hint,
+        )
+        if check:
+            validate(k)
+        return k

@@ -1,0 +1,69 @@
+"""Language dialects: the CUDA and OpenCL spellings of one IR.
+
+Table I of the paper maps the two vocabularies onto each other (global/
+constant/shared-local/private memory, thread/work-item, block/work-group).
+A :class:`Dialect` carries that mapping plus the feature gates that differ
+between the languages — notably that texture fetches (``tex1Dfetch``) are
+a CUDA-only facility, which is exactly the programming-model difference
+behind Fig. 4/5 of the paper.
+"""
+from __future__ import annotations
+
+import dataclasses
+
+from .types import AddrSpace
+
+__all__ = ["Dialect", "CUDA", "OPENCL"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Dialect:
+    name: str
+    #: language spelling of each address space, for the pretty-printer
+    space_names: dict
+    #: whether ``Load(via_texture=True)`` is allowed
+    allows_texture: bool
+    #: spelling of the work-item builtins, for the pretty-printer
+    tid_spelling: str
+    ctaid_spelling: str
+    ntid_spelling: str
+    nctaid_spelling: str
+    barrier_spelling: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+CUDA = Dialect(
+    name="cuda",
+    space_names={
+        AddrSpace.GLOBAL: "",
+        AddrSpace.CONST: "__constant__",
+        AddrSpace.SHARED: "__shared__",
+        AddrSpace.LOCAL: "",
+        AddrSpace.TEXTURE: "texture",
+    },
+    allows_texture=True,
+    tid_spelling="threadIdx",
+    ctaid_spelling="blockIdx",
+    ntid_spelling="blockDim",
+    nctaid_spelling="gridDim",
+    barrier_spelling="__syncthreads()",
+)
+
+OPENCL = Dialect(
+    name="opencl",
+    space_names={
+        AddrSpace.GLOBAL: "__global",
+        AddrSpace.CONST: "__constant",
+        AddrSpace.SHARED: "__local",
+        AddrSpace.LOCAL: "__private",
+        AddrSpace.TEXTURE: "image1d_t",
+    },
+    allows_texture=False,
+    tid_spelling="get_local_id",
+    ctaid_spelling="get_group_id",
+    ntid_spelling="get_local_size",
+    nctaid_spelling="get_num_groups",
+    barrier_spelling="barrier(CLK_LOCAL_MEM_FENCE)",
+)

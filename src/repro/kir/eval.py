@@ -1,0 +1,247 @@
+"""Reference evaluator: run a kernel directly from the IR.
+
+This interpreter is deliberately independent of the compiler and the PTX
+simulator — it executes the *source* semantics, one thread per Python
+generator, suspending at barriers so shared-memory cooperation works.
+Tests cross-check ``compile → simulate`` results against this evaluator;
+the two disagreeing means a compiler or simulator bug.
+
+Throughput is irrelevant here (it is a test oracle); keep problem sizes
+small when using it.
+"""
+from __future__ import annotations
+
+import math
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from .expr import BinOp, BufferRef, Const, Expr, Load, Select, SpecialReg, UnOp, Var
+from .stmt import Assign, Barrier, For, If, Kernel, Let, ScalarParam, Store, While
+from .types import Scalar, np_dtype
+
+__all__ = ["eval_kernel"]
+
+_MAXLOOP = 10_000_000
+
+
+def _to(v, t: Scalar):
+    return np_dtype(t)(v)
+
+
+def _eval(e: Expr, env: dict, bufs: Mapping[str, np.ndarray]):
+    if isinstance(e, Const):
+        return _to(e.value, e.ctype)
+    if isinstance(e, Var):
+        return env[e.name]
+    if isinstance(e, SpecialReg):
+        return env[e.reg.value]
+    if isinstance(e, Load):
+        idx = int(_eval(e.index, env, bufs))
+        return bufs[e.buf.name][idx]
+    if isinstance(e, BinOp):
+        a = _eval(e.a, env, bufs)
+        b = _eval(e.b, env, bufs)
+        op = e.op
+        with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+            if op == "add":
+                return _to(a + b, e.dtype)
+            if op == "sub":
+                return _to(a - b, e.dtype)
+            if op == "mul":
+                return _to(a * b, e.dtype)
+            if op == "div":
+                if e.dtype in (Scalar.F32, Scalar.F64):
+                    return _to(a / b, e.dtype)
+                return _to(int(a) // int(b) if b else 0, e.dtype)
+            if op == "rem":
+                return _to(int(a) % int(b) if b else 0, e.dtype)
+            if op == "min":
+                return _to(min(a, b), e.dtype)
+            if op == "max":
+                return _to(max(a, b), e.dtype)
+            if op == "and":
+                return _to(int(a) & int(b), e.dtype)
+            if op == "or":
+                return _to(int(a) | int(b), e.dtype)
+            if op == "xor":
+                return _to(int(a) ^ int(b), e.dtype)
+            if op == "shl":
+                return _to(int(a) << (int(b) & 31), e.dtype)
+            if op == "shr":
+                return _to(int(a) >> (int(b) & 31), e.dtype)
+            if op == "lt":
+                return bool(a < b)
+            if op == "le":
+                return bool(a <= b)
+            if op == "gt":
+                return bool(a > b)
+            if op == "ge":
+                return bool(a >= b)
+            if op == "eq":
+                return bool(a == b)
+            if op == "ne":
+                return bool(a != b)
+            if op == "land":
+                return bool(a) and bool(b)
+            if op == "lor":
+                return bool(a) or bool(b)
+        raise NotImplementedError(op)
+    if isinstance(e, UnOp):
+        a = _eval(e.a, env, bufs)
+        op = e.op
+        with np.errstate(over="ignore", invalid="ignore"):
+            if op == "neg":
+                return _to(-a, e.dtype)
+            if op == "not":
+                return _to(~int(a), e.dtype)
+            if op == "abs":
+                return _to(abs(a), e.dtype)
+            if op == "sqrt":
+                return _to(math.sqrt(max(a, 0.0)), e.dtype)
+            if op == "rsqrt":
+                return _to(1.0 / math.sqrt(a) if a > 0 else np.inf, e.dtype)
+            if op == "sin":
+                return _to(math.sin(a), e.dtype)
+            if op == "cos":
+                return _to(math.cos(a), e.dtype)
+            if op == "exp":
+                return _to(math.exp(min(a, 80.0)), e.dtype)
+            if op == "log":
+                return _to(math.log(a) if a > 0 else -np.inf, e.dtype)
+            if op == "floor":
+                return _to(math.floor(a), e.dtype)
+            if op == "f2i":
+                return _to(int(a), Scalar.S32)
+            if op == "f2u":
+                return _to(max(int(a), 0), Scalar.U32)
+            if op in ("i2f", "u2f"):
+                return _to(float(a), Scalar.F32)
+            if op == "widen":
+                return _to(int(a), Scalar.S64)
+        raise NotImplementedError(op)
+    if isinstance(e, Select):
+        return (
+            _eval(e.a, env, bufs)
+            if _eval(e.pred, env, bufs)
+            else _eval(e.b, env, bufs)
+        )
+    raise TypeError(f"cannot evaluate {e!r}")
+
+
+def _run(body, env, bufs) -> Iterator[None]:
+    """Execute statements for one thread; yields at barriers."""
+    for s in body:
+        if isinstance(s, Let) or isinstance(s, Assign):
+            env[s.var.name] = _to(_eval(s.value, env, bufs), s.var.dtype)
+        elif isinstance(s, Store):
+            idx = int(_eval(s.index, env, bufs))
+            buf = bufs[s.buf.name]
+            buf[idx] = _eval(s.value, env, bufs)
+        elif isinstance(s, Barrier):
+            yield
+        elif isinstance(s, If):
+            branch = s.then if _eval(s.cond, env, bufs) else s.orelse
+            yield from _run(branch, env, bufs)
+        elif isinstance(s, For):
+            env[s.var.name] = _to(_eval(s.start, env, bufs), s.var.dtype)
+            guard = 0
+            while env[s.var.name] < _eval(s.stop, env, bufs):
+                yield from _run(s.body, env, bufs)
+                env[s.var.name] = _to(
+                    env[s.var.name] + _eval(s.step, env, bufs), s.var.dtype
+                )
+                guard += 1
+                if guard > _MAXLOOP:  # pragma: no cover - safety net
+                    raise RuntimeError("runaway loop in reference evaluator")
+        elif isinstance(s, While):
+            guard = 0
+            while _eval(s.cond, env, bufs):
+                yield from _run(s.body, env, bufs)
+                guard += 1
+                if guard > _MAXLOOP:  # pragma: no cover
+                    raise RuntimeError("runaway loop in reference evaluator")
+        else:  # pragma: no cover - exhaustive over Stmt
+            raise TypeError(f"cannot execute {s!r}")
+
+
+def eval_kernel(
+    kernel: Kernel,
+    grid: tuple[int, int, int] | int,
+    block: tuple[int, int, int] | int,
+    args: Mapping[str, object],
+) -> None:
+    """Run ``kernel`` over the NDRange, mutating the numpy arrays in ``args``.
+
+    ``args`` maps parameter names to numpy arrays (buffers) or Python
+    scalars (by-value parameters).  Arrays are modified in place.
+    """
+    if isinstance(grid, int):
+        grid = (grid,)
+    if isinstance(block, int):
+        block = (block,)
+    grid = tuple(grid) + (1,) * (3 - len(grid))
+    block = tuple(block) + (1,) * (3 - len(block))
+
+    bufs: dict[str, np.ndarray] = {}
+    base_env: dict = {}
+    for p in kernel.params:
+        if isinstance(p, ScalarParam):
+            base_env[p.name] = _to(args[p.name], p.dtype)
+        else:
+            arr = args[p.name]
+            if not isinstance(arr, np.ndarray):
+                raise TypeError(f"buffer argument {p.name!r} must be ndarray")
+            bufs[p.name] = arr.reshape(-1)
+
+    geom = {
+        "ntid.x": _to(block[0], Scalar.U32),
+        "ntid.y": _to(block[1], Scalar.U32),
+        "ntid.z": _to(block[2], Scalar.U32),
+        "nctaid.x": _to(grid[0], Scalar.U32),
+        "nctaid.y": _to(grid[1], Scalar.U32),
+        "nctaid.z": _to(grid[2], Scalar.U32),
+    }
+
+    for bz in range(grid[2]):
+        for by in range(grid[1]):
+            for bx in range(grid[0]):
+                # fresh shared memory for every block
+                block_bufs = dict(bufs)
+                for sb in kernel.shared:
+                    block_bufs[sb.name] = np.zeros(
+                        sb.length, dtype=np_dtype(sb.elem)
+                    )
+                threads = []
+                for tz in range(block[2]):
+                    for ty in range(block[1]):
+                        for tx in range(block[0]):
+                            env = dict(base_env)
+                            env.update(geom)
+                            env.update(
+                                {
+                                    "tid.x": _to(tx, Scalar.U32),
+                                    "tid.y": _to(ty, Scalar.U32),
+                                    "tid.z": _to(tz, Scalar.U32),
+                                    "ctaid.x": _to(bx, Scalar.U32),
+                                    "ctaid.y": _to(by, Scalar.U32),
+                                    "ctaid.z": _to(bz, Scalar.U32),
+                                }
+                            )
+                            threads.append(_run(kernel.body, env, block_bufs))
+                # co-routine style lockstep between barriers
+                live = list(threads)
+                while live:
+                    nxt = []
+                    for t in live:
+                        try:
+                            next(t)
+                            nxt.append(t)
+                        except StopIteration:
+                            pass
+                    if nxt and len(nxt) != len(live):
+                        raise RuntimeError(
+                            f"kernel {kernel.name!r}: divergent barrier "
+                            "(not all threads reached it)"
+                        )
+                    live = nxt

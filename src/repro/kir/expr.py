@@ -1,0 +1,358 @@
+"""Expression nodes of the kernel IR.
+
+Expressions are immutable trees.  Python operator overloading on
+:class:`Expr` lets benchmark kernels read close to CUDA C / OpenCL C
+source while still building a first-class AST that both front-end
+compilers consume.
+"""
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Union
+
+from .types import AddrSpace, Scalar, is_float, is_integer
+
+__all__ = [
+    "Expr",
+    "Const",
+    "Var",
+    "SpecialReg",
+    "SReg",
+    "BinOp",
+    "UnOp",
+    "Select",
+    "Load",
+    "BufferRef",
+    "as_expr",
+    "BINOP_RESULT",
+    "COMPARISONS",
+]
+
+
+class SReg(enum.Enum):
+    """Built-in thread-geometry registers.
+
+    CUDA spelling on the left of each comment, OpenCL on the right.
+    """
+
+    TID_X = "tid.x"  # threadIdx.x       / get_local_id(0)
+    TID_Y = "tid.y"
+    TID_Z = "tid.z"
+    CTAID_X = "ctaid.x"  # blockIdx.x    / get_group_id(0)
+    CTAID_Y = "ctaid.y"
+    CTAID_Z = "ctaid.z"
+    NTID_X = "ntid.x"  # blockDim.x      / get_local_size(0)
+    NTID_Y = "ntid.y"
+    NTID_Z = "ntid.z"
+    NCTAID_X = "nctaid.x"  # gridDim.x   / get_num_groups(0)
+    NCTAID_Y = "nctaid.y"
+    NCTAID_Z = "nctaid.z"
+
+
+#: Binary operators.  Comparison operators produce ``Scalar.PRED``.
+_ARITH_OPS = {"add", "sub", "mul", "div", "rem", "min", "max"}
+_LOGIC_OPS = {"and", "or", "xor", "shl", "shr"}
+COMPARISONS = {"lt", "le", "gt", "ge", "eq", "ne"}
+_BOOL_OPS = {"land", "lor"}
+
+BINOP_RESULT = "binop"  # sentinel documented below
+
+
+def _result_type(op: str, a: "Expr", b: "Expr") -> Scalar:
+    if op in COMPARISONS or op in _BOOL_OPS:
+        return Scalar.PRED
+    return a.dtype
+
+
+@dataclasses.dataclass(frozen=True)
+class Expr:
+    """Base class: every expression carries its scalar type."""
+
+    dtype: Scalar = dataclasses.field(init=False, default=Scalar.S32)
+
+    # -- operator sugar -------------------------------------------------
+    def _bin(self, op: str, other: "ExprLike", swap: bool = False) -> "BinOp":
+        o = as_expr(other, like=self)
+        a, b = (o, self) if swap else (self, o)
+        return BinOp(op, a, b)
+
+    def __add__(self, o):
+        return self._bin("add", o)
+
+    def __radd__(self, o):
+        return self._bin("add", o, swap=True)
+
+    def __sub__(self, o):
+        return self._bin("sub", o)
+
+    def __rsub__(self, o):
+        return self._bin("sub", o, swap=True)
+
+    def __mul__(self, o):
+        return self._bin("mul", o)
+
+    def __rmul__(self, o):
+        return self._bin("mul", o, swap=True)
+
+    def __truediv__(self, o):
+        return self._bin("div", o)
+
+    def __rtruediv__(self, o):
+        return self._bin("div", o, swap=True)
+
+    def __floordiv__(self, o):
+        return self._bin("div", o)
+
+    def __mod__(self, o):
+        return self._bin("rem", o)
+
+    def __and__(self, o):
+        return self._bin("and", o)
+
+    def __rand__(self, o):
+        return self._bin("and", o, swap=True)
+
+    def __or__(self, o):
+        return self._bin("or", o)
+
+    def __ror__(self, o):
+        return self._bin("or", o, swap=True)
+
+    def __xor__(self, o):
+        return self._bin("xor", o)
+
+    def __rxor__(self, o):
+        return self._bin("xor", o, swap=True)
+
+    def __lshift__(self, o):
+        return self._bin("shl", o)
+
+    def __rlshift__(self, o):
+        return self._bin("shl", o, swap=True)
+
+    def __rshift__(self, o):
+        return self._bin("shr", o)
+
+    def __rrshift__(self, o):
+        return self._bin("shr", o, swap=True)
+
+    def __rmod__(self, o):
+        return self._bin("rem", o, swap=True)
+
+    def __rfloordiv__(self, o):
+        return self._bin("div", o, swap=True)
+
+    def __lt__(self, o):
+        return self._bin("lt", o)
+
+    def __le__(self, o):
+        return self._bin("le", o)
+
+    def __gt__(self, o):
+        return self._bin("gt", o)
+
+    def __ge__(self, o):
+        return self._bin("ge", o)
+
+    def eq(self, o):
+        return self._bin("eq", o)
+
+    def ne(self, o):
+        return self._bin("ne", o)
+
+    def logical_and(self, o):
+        return self._bin("land", o)
+
+    def logical_or(self, o):
+        return self._bin("lor", o)
+
+    def __neg__(self):
+        return UnOp("neg", self)
+
+    # hash/eq: structural (dataclass-generated in subclasses); keep the
+    # comparison operators above for IR building, so disable __eq__ abuse.
+    __hash__ = object.__hash__
+
+
+ExprLike = Union[Expr, int, float, bool]
+
+
+@dataclasses.dataclass(frozen=True, eq=False)
+class Const(Expr):
+    """A literal constant."""
+
+    value: Union[int, float, bool]
+    ctype: Scalar = Scalar.S32
+
+    def __post_init__(self):
+        object.__setattr__(self, "dtype", self.ctype)
+
+    def key(self):
+        return ("const", self.value, self.ctype)
+
+
+@dataclasses.dataclass(frozen=True, eq=False)
+class Var(Expr):
+    """A reference to a ``let``-bound local variable or scalar parameter."""
+
+    name: str
+    vtype: Scalar = Scalar.S32
+
+    def __post_init__(self):
+        object.__setattr__(self, "dtype", self.vtype)
+
+    def key(self):
+        return ("var", self.name)
+
+
+@dataclasses.dataclass(frozen=True, eq=False)
+class SpecialReg(Expr):
+    """A built-in geometry register (threadIdx.x / get_local_id(0) ...)."""
+
+    reg: SReg
+
+    def __post_init__(self):
+        object.__setattr__(self, "dtype", Scalar.U32)
+
+    def key(self):
+        return ("sreg", self.reg)
+
+
+@dataclasses.dataclass(frozen=True, eq=False)
+class BinOp(Expr):
+    op: str
+    a: Expr
+    b: Expr
+
+    def __post_init__(self):
+        if self.op not in _ARITH_OPS | _LOGIC_OPS | COMPARISONS | _BOOL_OPS:
+            raise ValueError(f"unknown binary op {self.op!r}")
+        if self.op in _LOGIC_OPS and not (
+            is_integer(self.a.dtype) or self.a.dtype is Scalar.PRED
+        ):
+            raise TypeError(f"{self.op} requires integer operands, got {self.a.dtype}")
+        object.__setattr__(self, "dtype", _result_type(self.op, self.a, self.b))
+
+    def key(self):
+        return ("bin", self.op, self.a.key(), self.b.key())
+
+
+#: Unary operators: arithmetic/bit plus the math builtins both languages
+#: expose (CUDA ``__sinf`` / OpenCL ``native_sin`` etc. are modeled by the
+#: plain names; transcendental cost differences live in the timing model).
+UNARY_OPS = {
+    "neg",
+    "not",
+    "abs",
+    "sqrt",
+    "rsqrt",
+    "sin",
+    "cos",
+    "exp",
+    "log",
+    "floor",
+    "f2i",  # float -> s32 (truncating)
+    "i2f",  # s32   -> f32
+    "u2f",
+    "f2u",
+    "widen",  # 32 -> 64 bit zero/sign extension
+}
+
+_CVT_RESULT = {
+    "f2i": Scalar.S32,
+    "f2u": Scalar.U32,
+    "i2f": Scalar.F32,
+    "u2f": Scalar.F32,
+    "widen": Scalar.S64,
+}
+
+
+@dataclasses.dataclass(frozen=True, eq=False)
+class UnOp(Expr):
+    op: str
+    a: Expr
+
+    def __post_init__(self):
+        if self.op not in UNARY_OPS:
+            raise ValueError(f"unknown unary op {self.op!r}")
+        object.__setattr__(self, "dtype", _CVT_RESULT.get(self.op, self.a.dtype))
+
+    def key(self):
+        return ("un", self.op, self.a.key())
+
+
+@dataclasses.dataclass(frozen=True, eq=False)
+class Select(Expr):
+    """``pred ? a : b`` — CUDA ternary, OpenCL ``select``."""
+
+    pred: Expr
+    a: Expr
+    b: Expr
+
+    def __post_init__(self):
+        if self.pred.dtype is not Scalar.PRED:
+            raise TypeError("Select predicate must be PRED-typed")
+        object.__setattr__(self, "dtype", self.a.dtype)
+
+    def key(self):
+        return ("sel", self.pred.key(), self.a.key(), self.b.key())
+
+
+@dataclasses.dataclass(frozen=True)
+class BufferRef:
+    """A pointer-typed kernel parameter (or a shared-memory allocation).
+
+    ``space`` distinguishes plain global pointers from constant buffers,
+    shared (CUDA) / local (OpenCL) scratch, and texture-bound buffers.
+    """
+
+    name: str
+    elem: Scalar
+    space: AddrSpace = AddrSpace.GLOBAL
+    length: int | None = None  # static length for SHARED/CONST declarations
+
+    def __getitem__(self, index: ExprLike) -> "Load":
+        return Load(self, as_expr(index))
+
+    def at(self, index: ExprLike) -> "Load":
+        return self[index]
+
+
+@dataclasses.dataclass(frozen=True, eq=False)
+class Load(Expr):
+    """A load of ``buf[index]`` from the buffer's address space."""
+
+    buf: BufferRef
+    index: Expr
+    via_texture: bool = False  # CUDA-only read path (tex1Dfetch)
+
+    def __post_init__(self):
+        object.__setattr__(self, "dtype", self.buf.elem)
+
+    def key(self):
+        return ("load", self.buf.name, self.index.key(), self.via_texture)
+
+
+def as_expr(v: ExprLike, like: Expr | None = None) -> Expr:
+    """Coerce a Python number into a :class:`Const`.
+
+    When ``like`` is provided, integer literals adopt its scalar type so
+    ``i + 1`` keeps ``i``'s signedness; floats always become F32 unless
+    the context is F64.
+    """
+    if isinstance(v, Expr):
+        return v
+    if isinstance(v, bool):
+        return Const(v, Scalar.PRED)
+    if isinstance(v, int):
+        t = Scalar.S32
+        if like is not None and is_integer(like.dtype):
+            t = like.dtype
+        return Const(v, t)
+    if isinstance(v, float):
+        t = Scalar.F32
+        if like is not None and like.dtype is Scalar.F64:
+            t = Scalar.F64
+        return Const(v, t)
+    raise TypeError(f"cannot convert {v!r} to IR expression")

@@ -1,0 +1,185 @@
+"""Render kernels back to CUDA-C-like or OpenCL-C-like source text.
+
+Used by documentation, error messages, and the "same implementation"
+audits of the fair-comparison methodology (two kernels whose dialect-
+neutral rendering matches are byte-for-byte the same algorithm).
+"""
+from __future__ import annotations
+
+from .dialect import CUDA, Dialect, OPENCL
+from .expr import BinOp, BufferRef, Const, Expr, Load, Select, SpecialReg, UnOp, Var
+from .stmt import (
+    Assign,
+    Barrier,
+    For,
+    If,
+    Kernel,
+    Let,
+    ScalarParam,
+    Store,
+    UNROLL_FULL,
+    While,
+)
+from .types import AddrSpace, Scalar
+
+__all__ = ["render", "render_expr"]
+
+_CTYPE = {
+    Scalar.U32: "unsigned int",
+    Scalar.S32: "int",
+    Scalar.U64: "unsigned long",
+    Scalar.S64: "long",
+    Scalar.F32: "float",
+    Scalar.F64: "double",
+    Scalar.PRED: "bool",
+}
+
+_BIN = {
+    "add": "+",
+    "sub": "-",
+    "mul": "*",
+    "div": "/",
+    "rem": "%",
+    "and": "&",
+    "or": "|",
+    "xor": "^",
+    "shl": "<<",
+    "shr": ">>",
+    "lt": "<",
+    "le": "<=",
+    "gt": ">",
+    "ge": ">=",
+    "eq": "==",
+    "ne": "!=",
+    "land": "&&",
+    "lor": "||",
+}
+
+
+def _sreg(e: SpecialReg, d: Dialect) -> str:
+    kind, axis = e.reg.value.split(".")
+    idx = "xyz".index(axis)
+    table = {
+        "tid": d.tid_spelling,
+        "ctaid": d.ctaid_spelling,
+        "ntid": d.ntid_spelling,
+        "nctaid": d.nctaid_spelling,
+    }
+    base = table[kind]
+    if d is OPENCL:
+        return f"{base}({idx})"
+    return f"{base}.{axis}"
+
+
+def render_expr(e: Expr, d: Dialect = CUDA) -> str:
+    if isinstance(e, Const):
+        if e.ctype is Scalar.F32:
+            return f"{float(e.value)}f"
+        return str(e.value)
+    if isinstance(e, Var):
+        return e.name
+    if isinstance(e, SpecialReg):
+        return _sreg(e, d)
+    if isinstance(e, BinOp):
+        if e.op in ("min", "max"):
+            return f"{e.op}({render_expr(e.a, d)}, {render_expr(e.b, d)})"
+        return f"({render_expr(e.a, d)} {_BIN[e.op]} {render_expr(e.b, d)})"
+    if isinstance(e, UnOp):
+        fn = {
+            "neg": "-",
+            "not": "~",
+            "f2i": "(int)",
+            "i2f": "(float)",
+            "u2f": "(float)",
+            "f2u": "(unsigned)",
+            "widen": "(long)",
+        }.get(e.op)
+        if fn is not None:
+            return f"{fn}{render_expr(e.a, d)}"
+        name = {"abs": "fabs"}.get(e.op, e.op)
+        if d is OPENCL and e.op in ("sin", "cos", "exp", "log", "rsqrt", "sqrt"):
+            name = f"native_{e.op}"
+        elif d is CUDA and e.op in ("sin", "cos", "exp", "log"):
+            name = f"__{e.op}f"
+        return f"{name}({render_expr(e.a, d)})"
+    if isinstance(e, Select):
+        if d is OPENCL:
+            return (
+                f"select({render_expr(e.b, d)}, {render_expr(e.a, d)}, "
+                f"{render_expr(e.pred, d)})"
+            )
+        return (
+            f"({render_expr(e.pred, d)} ? {render_expr(e.a, d)} : "
+            f"{render_expr(e.b, d)})"
+        )
+    if isinstance(e, Load):
+        if e.via_texture:
+            return f"tex1Dfetch(tex_{e.buf.name}, {render_expr(e.index, d)})"
+        return f"{e.buf.name}[{render_expr(e.index, d)}]"
+    raise TypeError(f"cannot render {e!r}")
+
+
+def _param_decl(p, d: Dialect) -> str:
+    if isinstance(p, ScalarParam):
+        return f"{_CTYPE[p.dtype]} {p.name}"
+    qual = d.space_names.get(p.space, "")
+    qual = f"{qual} " if qual else ""
+    return f"{qual}{_CTYPE[p.elem]}* {p.name}"
+
+
+def render(kernel: Kernel, dialect: Dialect | None = None) -> str:
+    """Render ``kernel`` as dialect-styled pseudo source."""
+    d = dialect or ({"cuda": CUDA, "opencl": OPENCL}[kernel.dialect])
+    head = "__global__ void" if d is CUDA else "__kernel void"
+    lines = [f"{head} {kernel.name}({', '.join(_param_decl(p, d) for p in kernel.params)})", "{"]
+    for b in kernel.shared:
+        lines.append(
+            f"    {d.space_names[AddrSpace.SHARED]} {_CTYPE[b.elem]} "
+            f"{b.name}[{b.length}];"
+        )
+
+    def emit(body, depth):
+        pad = "    " * depth
+        for s in body:
+            if isinstance(s, Let):
+                lines.append(
+                    f"{pad}{_CTYPE[s.var.vtype]} {s.var.name} = "
+                    f"{render_expr(s.value, d)};"
+                )
+            elif isinstance(s, Assign):
+                lines.append(f"{pad}{s.var.name} = {render_expr(s.value, d)};")
+            elif isinstance(s, Store):
+                lines.append(
+                    f"{pad}{s.buf.name}[{render_expr(s.index, d)}] = "
+                    f"{render_expr(s.value, d)};"
+                )
+            elif isinstance(s, Barrier):
+                lines.append(f"{pad}{d.barrier_spelling};")
+            elif isinstance(s, If):
+                lines.append(f"{pad}if ({render_expr(s.cond, d)}) {{")
+                emit(s.then, depth + 1)
+                if s.orelse:
+                    lines.append(f"{pad}}} else {{")
+                    emit(s.orelse, depth + 1)
+                lines.append(f"{pad}}}")
+            elif isinstance(s, For):
+                if s.unroll is not None:
+                    n = "" if s.unroll.factor == UNROLL_FULL else f" {s.unroll.factor}"
+                    tag = f"  // unroll point: {s.unroll.point}" if s.unroll.point else ""
+                    lines.append(f"{pad}#pragma unroll{n}{tag}")
+                v = s.var.name
+                lines.append(
+                    f"{pad}for (int {v} = {render_expr(s.start, d)}; "
+                    f"{v} < {render_expr(s.stop, d)}; "
+                    f"{v} += {render_expr(s.step, d)}) {{"
+                )
+                emit(s.body, depth + 1)
+                lines.append(f"{pad}}}")
+            elif isinstance(s, While):
+                lines.append(f"{pad}while ({render_expr(s.cond, d)}) {{")
+                emit(s.body, depth + 1)
+                lines.append(f"{pad}}}")
+
+    emit(kernel.body, 1)
+    lines.append("}")
+    return "\n".join(lines)

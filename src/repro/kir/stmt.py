@@ -1,0 +1,170 @@
+"""Statement nodes and the kernel container of the kernel IR.
+
+Control flow is *structured* (no goto): ``If``, ``For`` and ``While``
+nest.  This mirrors what the paper's benchmark kernels look like and is
+what lets the compilers annotate every PTX branch with its reconvergence
+point (the simulator's SIMT stack relies on those annotations).
+"""
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence, Union
+
+from .expr import BufferRef, Const, Expr, Var
+from .types import AddrSpace, Scalar
+
+__all__ = [
+    "Stmt",
+    "Let",
+    "Assign",
+    "Store",
+    "If",
+    "For",
+    "While",
+    "Barrier",
+    "Unroll",
+    "UNROLL_FULL",
+    "ScalarParam",
+    "Kernel",
+]
+
+#: Sentinel for ``#pragma unroll`` with no factor (full unroll).
+UNROLL_FULL = -1
+
+
+@dataclasses.dataclass(frozen=True)
+class Unroll:
+    """An unroll pragma attached to a ``For``.
+
+    ``factor``: ``UNROLL_FULL`` for ``#pragma unroll``, or a positive
+    partial factor for ``#pragma unroll N``.  ``point`` names the pragma
+    site (the paper's FDTD discussion labels them "a" and "b") so
+    experiments can add/remove individual pragmas.
+    """
+
+    factor: int = UNROLL_FULL
+    point: str = ""
+
+
+class Stmt:
+    """Base class for statements."""
+
+    __slots__ = ()
+
+
+@dataclasses.dataclass(frozen=True)
+class Let(Stmt):
+    """Declare-and-initialize a new local variable."""
+
+    var: Var
+    value: Expr
+
+
+@dataclasses.dataclass(frozen=True)
+class Assign(Stmt):
+    """Re-assign an existing local variable (it must be Let-bound)."""
+
+    var: Var
+    value: Expr
+
+
+@dataclasses.dataclass(frozen=True)
+class Store(Stmt):
+    """``buf[index] = value`` into the buffer's address space."""
+
+    buf: BufferRef
+    index: Expr
+    value: Expr
+
+
+@dataclasses.dataclass(frozen=True)
+class If(Stmt):
+    cond: Expr
+    then: tuple[Stmt, ...]
+    orelse: tuple[Stmt, ...] = ()
+
+
+@dataclasses.dataclass(frozen=True)
+class For(Stmt):
+    """``for (var = start; var < stop; var += step) body``.
+
+    ``stop``/``step`` may be arbitrary expressions; unrolling requires
+    them to be compile-time constants (as in CUDA/OpenCL practice).
+    """
+
+    var: Var
+    start: Expr
+    stop: Expr
+    step: Expr
+    body: tuple[Stmt, ...]
+    unroll: Optional[Unroll] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class While(Stmt):
+    cond: Expr
+    body: tuple[Stmt, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class Barrier(Stmt):
+    """``__syncthreads()`` / ``barrier(CLK_LOCAL_MEM_FENCE)``."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ScalarParam:
+    """A by-value kernel parameter."""
+
+    name: str
+    dtype: Scalar
+
+
+Param = Union[ScalarParam, BufferRef]
+
+
+@dataclasses.dataclass
+class Kernel:
+    """A complete device kernel.
+
+    ``dialect`` records which language front-end the kernel was written
+    for ("cuda" or "opencl"); the corresponding compiler must be used.
+    ``shared`` lists statically-sized SHARED-space scratch buffers, and
+    ``wg_hint`` is the work-group size the host intends to launch with
+    (used by the register allocator's occupancy heuristics only).
+    """
+
+    name: str
+    params: list[Param]
+    body: list[Stmt]
+    dialect: str = "cuda"
+    shared: list[BufferRef] = dataclasses.field(default_factory=list)
+    wg_hint: int = 256
+
+    def param(self, name: str) -> Param:
+        for p in self.params:
+            if p.name == name:
+                return p
+        raise KeyError(name)
+
+    def buffers(self) -> list[BufferRef]:
+        return [p for p in self.params if isinstance(p, BufferRef)]
+
+    def scalars(self) -> list[ScalarParam]:
+        return [p for p in self.params if isinstance(p, ScalarParam)]
+
+    def shared_bytes(self) -> int:
+        from .types import sizeof
+
+        return sum((b.length or 0) * sizeof(b.elem) for b in self.shared)
+
+    def uses_texture(self) -> bool:
+        from .visit import any_expr
+
+        return any_expr(
+            self.body, lambda e: getattr(e, "via_texture", False) is True
+        )
+
+
+def block(stmts: Sequence[Stmt]) -> tuple[Stmt, ...]:
+    """Normalize a statement sequence into the tuple form nodes store."""
+    return tuple(stmts)

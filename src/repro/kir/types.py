@@ -1,0 +1,98 @@
+"""Scalar types and address spaces of the kernel IR.
+
+The type system mirrors what both CUDA C and OpenCL C expose to GPU
+kernels: 32/64-bit integers, single/double floats, and a 1-bit predicate
+type that only exists as the result of comparisons.  Address spaces follow
+the PTX state-space taxonomy (Table I of the paper maps the CUDA and
+OpenCL spellings onto each other; we use the PTX names internally).
+"""
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+__all__ = ["Scalar", "AddrSpace", "np_dtype", "sizeof", "is_integer", "is_float"]
+
+
+class Scalar(enum.Enum):
+    """A scalar value type carried by every IR expression."""
+
+    U32 = "u32"
+    S32 = "s32"
+    U64 = "u64"
+    S64 = "s64"
+    F32 = "f32"
+    F64 = "f64"
+    PRED = "pred"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Scalar.{self.name}"
+
+
+_NP = {
+    Scalar.U32: np.uint32,
+    Scalar.S32: np.int32,
+    Scalar.U64: np.uint64,
+    Scalar.S64: np.int64,
+    Scalar.F32: np.float32,
+    Scalar.F64: np.float64,
+    Scalar.PRED: np.bool_,
+}
+
+_SIZE = {
+    Scalar.U32: 4,
+    Scalar.S32: 4,
+    Scalar.U64: 8,
+    Scalar.S64: 8,
+    Scalar.F32: 4,
+    Scalar.F64: 8,
+    Scalar.PRED: 1,
+}
+
+_INT = {Scalar.U32, Scalar.S32, Scalar.U64, Scalar.S64}
+_FLOAT = {Scalar.F32, Scalar.F64}
+
+
+def np_dtype(t: Scalar) -> type:
+    """The numpy dtype used to carry lane values of scalar type ``t``."""
+    return _NP[t]
+
+
+def sizeof(t: Scalar) -> int:
+    """Size in bytes of one element of ``t`` in device memory."""
+    return _SIZE[t]
+
+
+def is_integer(t: Scalar) -> bool:
+    return t in _INT
+
+
+def is_float(t: Scalar) -> bool:
+    return t in _FLOAT
+
+
+class AddrSpace(enum.Enum):
+    """PTX state spaces (CUDA / OpenCL spellings in comments).
+
+    ========  ==================  =====================
+    space     CUDA                OpenCL
+    ========  ==================  =====================
+    GLOBAL    global memory       global memory
+    CONST     constant memory     constant memory
+    SHARED    shared memory       local memory
+    LOCAL     local memory        private memory
+    TEXTURE   texture memory      (images; unused here)
+    PARAM     kernel parameters   kernel parameters
+    ========  ==================  =====================
+    """
+
+    GLOBAL = "global"
+    CONST = "const"
+    SHARED = "shared"
+    LOCAL = "local"
+    TEXTURE = "tex"
+    PARAM = "param"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AddrSpace.{self.name}"

@@ -1,0 +1,98 @@
+"""Static validation of kernels before compilation.
+
+Catches the classes of mistakes a C front-end would reject: use of
+undeclared variables, assignment to loop induction variables, stores into
+read-only spaces, texture fetches outside the CUDA dialect, and barriers
+inside divergent control flow (which both languages declare undefined).
+"""
+from __future__ import annotations
+
+from .dialect import CUDA, OPENCL
+from .expr import BufferRef, Expr, Load, SpecialReg, Var
+from .stmt import Assign, Barrier, For, If, Kernel, Let, ScalarParam, Stmt, Store, While
+from .types import AddrSpace
+from .visit import stmt_exprs, walk_exprs
+
+__all__ = ["validate", "KernelValidationError"]
+
+
+class KernelValidationError(ValueError):
+    """A kernel failed static validation."""
+
+
+def _err(kernel: Kernel, msg: str) -> KernelValidationError:
+    return KernelValidationError(f"kernel {kernel.name!r}: {msg}")
+
+
+def validate(kernel: Kernel) -> None:
+    dialect = {"cuda": CUDA, "opencl": OPENCL}.get(kernel.dialect)
+    if dialect is None:
+        raise _err(kernel, f"unknown dialect {kernel.dialect!r}")
+
+    declared_bufs = {b.name for b in kernel.buffers()} | {
+        b.name for b in kernel.shared
+    }
+    readonly = {
+        b.name for b in kernel.buffers() if b.space is AddrSpace.CONST
+    }
+    scope = {p.name for p in kernel.scalars()}
+
+    for b in kernel.shared:
+        if b.length is None or b.length <= 0:
+            raise _err(kernel, f"shared buffer {b.name!r} needs a static length")
+
+    def check_expr(e: Expr, scope: set[str]) -> None:
+        for node in walk_exprs(e):
+            if isinstance(node, Var) and node.name not in scope:
+                raise _err(kernel, f"use of undeclared variable {node.name!r}")
+            if isinstance(node, Load):
+                if node.buf.name not in declared_bufs:
+                    raise _err(kernel, f"load from undeclared buffer {node.buf.name!r}")
+                if node.via_texture and not dialect.allows_texture:
+                    raise _err(
+                        kernel,
+                        f"texture fetch from {node.buf.name!r} is not available "
+                        f"in the {dialect.name} dialect",
+                    )
+                if node.via_texture and node.buf.space is not AddrSpace.GLOBAL:
+                    raise _err(kernel, "texture fetches bind global buffers only")
+
+    def check_block(body, scope: set[str], divergent: bool) -> set[str]:
+        scope = set(scope)
+        for s in body:
+            for e in stmt_exprs(s):
+                check_expr(e, scope)
+            if isinstance(s, Let):
+                if s.var.name in scope:
+                    raise _err(kernel, f"redeclaration of {s.var.name!r}")
+                scope.add(s.var.name)
+            elif isinstance(s, Assign):
+                if s.var.name not in scope:
+                    raise _err(kernel, f"assignment to undeclared {s.var.name!r}")
+            elif isinstance(s, Store):
+                if s.buf.name not in declared_bufs:
+                    raise _err(kernel, f"store to undeclared buffer {s.buf.name!r}")
+                if s.buf.name in readonly:
+                    raise _err(kernel, f"store to read-only buffer {s.buf.name!r}")
+                check_expr(s.index, scope)
+                check_expr(s.value, scope)
+            elif isinstance(s, If):
+                check_block(s.then, scope, divergent=True)
+                check_block(s.orelse, scope, divergent=True)
+            elif isinstance(s, For):
+                if s.var.name in scope:
+                    raise _err(kernel, f"loop variable {s.var.name!r} shadows")
+                inner = scope | {s.var.name}
+                check_block(s.body, inner, divergent)
+            elif isinstance(s, While):
+                check_block(s.body, scope, divergent=True)
+            elif isinstance(s, Barrier):
+                if divergent:
+                    raise _err(
+                        kernel,
+                        "barrier inside divergent control flow "
+                        "(undefined in both CUDA and OpenCL)",
+                    )
+        return scope
+
+    check_block(kernel.body, scope, divergent=False)

@@ -1,0 +1,88 @@
+"""Tree walkers shared by validation, compilers and pretty-printing."""
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from .expr import BinOp, Expr, Load, Select, UnOp
+from .stmt import Assign, Barrier, For, If, Let, Stmt, Store, While
+
+__all__ = ["walk_exprs", "walk_stmts", "any_expr", "sub_exprs", "map_expr"]
+
+
+def sub_exprs(e: Expr) -> Iterator[Expr]:
+    """Direct children of an expression node."""
+    if isinstance(e, BinOp):
+        yield e.a
+        yield e.b
+    elif isinstance(e, UnOp):
+        yield e.a
+    elif isinstance(e, Select):
+        yield e.pred
+        yield e.a
+        yield e.b
+    elif isinstance(e, Load):
+        yield e.index
+
+
+def walk_exprs(e: Expr) -> Iterator[Expr]:
+    """Pre-order walk of an expression tree (including ``e`` itself)."""
+    yield e
+    for c in sub_exprs(e):
+        yield from walk_exprs(c)
+
+
+def stmt_exprs(s: Stmt) -> Iterator[Expr]:
+    """Top-level expressions appearing directly in a statement."""
+    if isinstance(s, Let) or isinstance(s, Assign):
+        yield s.value
+    elif isinstance(s, Store):
+        yield s.index
+        yield s.value
+    elif isinstance(s, If):
+        yield s.cond
+    elif isinstance(s, For):
+        yield s.start
+        yield s.stop
+        yield s.step
+    elif isinstance(s, While):
+        yield s.cond
+
+
+def walk_stmts(body: Iterable[Stmt]) -> Iterator[Stmt]:
+    """Pre-order walk of a statement tree."""
+    for s in body:
+        yield s
+        if isinstance(s, If):
+            yield from walk_stmts(s.then)
+            yield from walk_stmts(s.orelse)
+        elif isinstance(s, (For, While)):
+            yield from walk_stmts(s.body)
+
+
+def any_expr(body: Iterable[Stmt], pred: Callable[[Expr], bool]) -> bool:
+    """True if any expression anywhere under ``body`` satisfies ``pred``."""
+    for s in walk_stmts(body):
+        for top in stmt_exprs(s):
+            for e in walk_exprs(top):
+                if pred(e):
+                    return True
+    return False
+
+
+def map_expr(e: Expr, fn: Callable[[Expr], Expr]) -> Expr:
+    """Rebuild ``e`` bottom-up, applying ``fn`` to every node.
+
+    ``fn`` receives a node whose children have already been rewritten and
+    returns its replacement (possibly the same node).
+    """
+    if isinstance(e, BinOp):
+        e2: Expr = BinOp(e.op, map_expr(e.a, fn), map_expr(e.b, fn))
+    elif isinstance(e, UnOp):
+        e2 = UnOp(e.op, map_expr(e.a, fn))
+    elif isinstance(e, Select):
+        e2 = Select(map_expr(e.pred, fn), map_expr(e.a, fn), map_expr(e.b, fn))
+    elif isinstance(e, Load):
+        e2 = Load(e.buf, map_expr(e.index, fn), e.via_texture)
+    else:
+        e2 = e
+    return fn(e2)

@@ -1,0 +1,133 @@
+"""The virtual instruction set: opcodes and their Table-V classification.
+
+The paper's Table V groups PTX instructions into five classes —
+Arithmetic, Logic/Shift, Data Movement, Flow Control, Synchronization —
+and counts each mnemonic (with loads/stores split per state space).
+:func:`klass_of` and :func:`stats_key` implement exactly that taxonomy so
+``repro.ptx.stats`` can print the same rows.
+"""
+from __future__ import annotations
+
+import enum
+
+from ..kir.types import AddrSpace, Scalar
+
+__all__ = ["Op", "IClass", "klass_of", "stats_key", "is_memory", "is_load", "is_store"]
+
+
+class IClass(enum.Enum):
+    ARITHMETIC = "Arithmetic"
+    LOGIC = "Logic/Shift"
+    DATA = "Data Movement"
+    FLOW = "Flow Control"
+    SYNC = "Synchronization"
+    OTHER = "Other"
+
+
+class Op(enum.Enum):
+    # arithmetic
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    REM = "rem"
+    FMA = "fma"
+    MAD = "mad"
+    NEG = "neg"
+    ABS = "abs"
+    MIN = "min"
+    MAX = "max"
+    SQRT = "sqrt"
+    RSQRT = "rsqrt"
+    SIN = "sin"
+    COS = "cos"
+    EX2 = "ex2"  # 2^x — exp() lowers through this, as nvcc does
+    LG2 = "lg2"
+    FLOOR = "floor"
+    # logic / shift
+    AND = "and"
+    OR = "or"
+    NOT = "not"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    # data movement
+    MOV = "mov"
+    CVT = "cvt"
+    LD = "ld"
+    ST = "st"
+    TEX = "tex"  # tex.1d fetch — data movement through the texture path
+    # flow control
+    SETP = "setp"
+    SELP = "selp"
+    BRA = "bra"
+    # synchronization
+    BAR = "bar"
+    # structure
+    EXIT = "exit"
+    LABEL = "label"  # pseudo-op carrying a label name; free at run time
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Op.{self.name}"
+
+
+_CLASS = {
+    **{
+        o: IClass.ARITHMETIC
+        for o in (
+            Op.ADD,
+            Op.SUB,
+            Op.MUL,
+            Op.DIV,
+            Op.REM,
+            Op.FMA,
+            Op.MAD,
+            Op.NEG,
+            Op.ABS,
+            Op.MIN,
+            Op.MAX,
+            Op.SQRT,
+            Op.RSQRT,
+            Op.SIN,
+            Op.COS,
+            Op.EX2,
+            Op.LG2,
+            Op.FLOOR,
+        )
+    },
+    **{o: IClass.LOGIC for o in (Op.AND, Op.OR, Op.NOT, Op.XOR, Op.SHL, Op.SHR)},
+    **{o: IClass.DATA for o in (Op.MOV, Op.CVT, Op.LD, Op.ST, Op.TEX)},
+    **{o: IClass.FLOW for o in (Op.SETP, Op.SELP, Op.BRA)},
+    Op.BAR: IClass.SYNC,
+    Op.EXIT: IClass.OTHER,
+    Op.LABEL: IClass.OTHER,
+}
+
+
+def klass_of(op: Op) -> IClass:
+    return _CLASS[op]
+
+
+def is_memory(op: Op) -> bool:
+    return op in (Op.LD, Op.ST, Op.TEX)
+
+
+def is_load(op: Op) -> bool:
+    return op in (Op.LD, Op.TEX)
+
+
+def is_store(op: Op) -> bool:
+    return op is Op.ST
+
+
+def stats_key(op: Op, space: AddrSpace | None = None) -> str:
+    """The row name Table V uses for an instruction.
+
+    Loads and stores are split per state space (``ld.global`` etc.);
+    texture fetches are reported as ``ld.tex``.
+    """
+    if op is Op.TEX:
+        return "ld.tex"
+    if op in (Op.LD, Op.ST) and space is not None:
+        return f"{op.value}.{space.value}"
+    return op.value

@@ -1,0 +1,64 @@
+"""Textual rendering of compiled kernels, in PTX-flavored syntax."""
+from __future__ import annotations
+
+from ..kir.types import Scalar
+from .instructions import Imm, Instr, Reg
+from .isa import Op
+from .module import PTXKernel
+
+__all__ = ["format_instr", "format_kernel"]
+
+_TY = {
+    Scalar.U32: "u32",
+    Scalar.S32: "s32",
+    Scalar.U64: "u64",
+    Scalar.S64: "s64",
+    Scalar.F32: "f32",
+    Scalar.F64: "f64",
+    Scalar.PRED: "pred",
+}
+
+
+def format_instr(i: Instr) -> str:
+    if i.op is Op.LABEL:
+        return f"{i.label}:"
+    guard = ""
+    if i.pred is not None:
+        reg, sense = i.pred
+        guard = f"@{'' if sense else '!'}{reg} "
+    if i.op is Op.BRA:
+        extra = f"  // reconv {i.reconv}" if i.reconv else ""
+        return f"    {guard}bra {i.target};{extra}"
+    if i.op is Op.BAR:
+        return f"    {guard}bar.sync 0;"
+    if i.op is Op.EXIT:
+        return f"    {guard}exit;"
+    name = i.op.value
+    if i.op in (Op.LD, Op.ST) and i.space is not None:
+        name = f"{name}.{i.space.value}"
+    if i.op is Op.TEX:
+        name = "tex.1d"
+    if i.op is Op.SETP and i.cmp:
+        name = f"setp.{i.cmp}"
+    name = f"{name}.{_TY[i.dtype]}"
+    ops = []
+    if i.dst is not None:
+        ops.append(str(i.dst))
+    ops.extend(str(s) for s in i.srcs)
+    return f"    {guard}{name} {', '.join(ops)};"
+
+
+def format_kernel(k: PTXKernel) -> str:
+    params = ", ".join(
+        f".param .{'u64' if p.is_pointer else _TY[p.dtype]} {p.name}"
+        for p in k.params
+    )
+    head = [
+        f"// produced by {k.producer} ({k.dialect} dialect)",
+        f"// regs={k.resources.registers} spill={k.resources.spill_bytes}B "
+        f"shared={k.resources.shared_bytes}B",
+        f".entry {k.name}({params})",
+        "{",
+    ]
+    body = [format_instr(i) for i in k.instrs]
+    return "\n".join(head + body + ["}"])

@@ -1,0 +1,99 @@
+"""Static instruction statistics — the machinery behind Table V.
+
+The paper compares the PTX emitted by the CUDA and OpenCL front-end
+compilers for the FFT "forward" kernel, counting instructions per
+mnemonic grouped into five classes.  :func:`histogram` computes the same
+rows for any compiled kernel, and :func:`table` renders a two-column
+comparison in the paper's layout.
+"""
+from __future__ import annotations
+
+from collections import Counter
+from typing import Mapping
+
+from .isa import IClass, Op, klass_of, stats_key
+from .module import PTXKernel
+
+__all__ = ["histogram", "class_totals", "table", "TABLE5_ROWS"]
+
+#: Row order of Table V in the paper (per class).
+TABLE5_ROWS: dict = {
+    IClass.ARITHMETIC: [
+        "add",
+        "sub",
+        "mul",
+        "div",
+        "fma",
+        "mad",
+        "neg",
+    ],
+    IClass.LOGIC: ["and", "or", "not", "xor", "shl", "shr"],
+    IClass.DATA: [
+        "cvt",
+        "mov",
+        "ld.param",
+        "ld.local",
+        "ld.shared",
+        "ld.const",
+        "ld.global",
+        "st.local",
+        "st.shared",
+        "st.global",
+    ],
+    IClass.FLOW: ["setp", "selp", "bra"],
+    IClass.SYNC: ["bar"],
+}
+
+
+def histogram(kernel: PTXKernel) -> Counter:
+    """Static instruction counts keyed by Table-V row names."""
+    h: Counter = Counter()
+    for i in kernel.real_instrs():
+        if i.op is Op.EXIT:
+            continue
+        h[stats_key(i.op, i.space)] += 1
+    return h
+
+
+def class_totals(hist: Mapping[str, int]) -> Counter:
+    """Sum a histogram into the five instruction classes."""
+    totals: Counter = Counter()
+    for key, n in hist.items():
+        base = key.split(".")[0]
+        op = Op(base)
+        totals[klass_of(op)] += n
+    return totals
+
+
+def table(
+    left: PTXKernel, right: PTXKernel, left_name: str = "CUDA", right_name: str = "OpenCL"
+) -> str:
+    """Render a Table-V-style side-by-side comparison of two kernels."""
+    lh, rh = histogram(left), histogram(right)
+    width = 14
+    lines = [
+        f"{'Class':<16} {'Instruction':<{width}} {left_name:>8} {right_name:>8}"
+    ]
+    lines.append("-" * len(lines[0]))
+    grand_l = grand_r = 0
+    for klass, rows in TABLE5_ROWS.items():
+        sub_l = sub_r = 0
+        for row in rows:
+            l, r = lh.get(row, 0), rh.get(row, 0)
+            sub_l += l
+            sub_r += r
+            lines.append(f"{klass.value:<16} {row:<{width}} {l:>8} {r:>8}")
+        # rows not in the canonical list but present (rem, min, tex, ...)
+        for row in sorted(set(lh) | set(rh)):
+            base = row.split(".")[0]
+            if row in rows or klass_of(Op(base)) is not klass:
+                continue
+            l, r = lh.get(row, 0), rh.get(row, 0)
+            sub_l += l
+            sub_r += r
+            lines.append(f"{klass.value:<16} {row:<{width}} {l:>8} {r:>8}")
+        lines.append(f"{'Sub-total':<16} {'':<{width}} {sub_l:>8} {sub_r:>8}")
+        grand_l += sub_l
+        grand_r += sub_r
+    lines.append(f"{'Total':<16} {'':<{width}} {grand_l:>8} {grand_r:>8}")
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Structural verifier for compiled kernels.
+
+Run after every pass in debug builds; catches def-before-use violations,
+dangling branch targets, missing reconvergence annotations, and type
+mismatches that the simulator would otherwise misexecute silently.
+"""
+from __future__ import annotations
+
+from ..kir.types import Scalar
+from .instructions import Imm, Reg
+from .isa import Op
+from .module import PTXKernel
+
+__all__ = ["verify", "PTXVerificationError"]
+
+
+class PTXVerificationError(ValueError):
+    pass
+
+
+def verify(kernel: PTXKernel) -> None:
+    labels = kernel.label_map()
+    defined: set[int] = set()
+    param_names = {p.name for p in kernel.params}
+
+    for pc, i in enumerate(kernel.instrs):
+        where = f"{kernel.name}@{pc}"
+        if i.op is Op.LABEL:
+            if not i.label:
+                raise PTXVerificationError(f"{where}: unnamed label")
+            continue
+        if i.op is Op.BRA:
+            if i.target not in labels:
+                raise PTXVerificationError(
+                    f"{where}: branch to unknown label {i.target!r}"
+                )
+            if i.pred is not None and i.reconv is None:
+                raise PTXVerificationError(
+                    f"{where}: predicated branch lacks reconvergence label"
+                )
+            if i.reconv is not None and i.reconv not in labels:
+                raise PTXVerificationError(
+                    f"{where}: unknown reconvergence label {i.reconv!r}"
+                )
+        if i.op is Op.ST and len(i.srcs) != 2:
+            raise PTXVerificationError(f"{where}: st needs address + value")
+        if i.op in (Op.LD, Op.ST) and i.space is None:
+            raise PTXVerificationError(f"{where}: {i.op.value} without state space")
+        if i.op is Op.SETP:
+            if i.dst is None or i.dst.dtype is not Scalar.PRED:
+                raise PTXVerificationError(f"{where}: setp must define a predicate")
+            if not i.cmp:
+                raise PTXVerificationError(f"{where}: setp without comparison kind")
+        if i.op is Op.SELP and len(i.srcs) != 3:
+            raise PTXVerificationError(f"{where}: selp needs (a, b, pred)")
+
+        # def-before-use over straight-line order.  Our generators emit
+        # code where every register is defined textually before any use
+        # (loop-carried variables are initialized ahead of the loop), so
+        # this linear check is sound for the code we produce.
+        for r in i.regs_read():
+            if r.idx not in defined:
+                raise PTXVerificationError(
+                    f"{where}: use of undefined register {r} in "
+                    f"{i.op.value}"
+                )
+        if i.dst is not None:
+            defined.add(i.dst.idx)
+
+    if kernel.instrs and not any(
+        i.op is Op.EXIT for i in kernel.instrs
+    ):  # pragma: no cover - all generators emit exit
+        raise PTXVerificationError(f"{kernel.name}: kernel does not exit")

@@ -1,0 +1,5 @@
+"""Host runtimes: CUDA (NVIDIA devices only) and OpenCL (all devices)."""
+from . import cuda, opencl
+from .overhead import cuda_launch_overhead_s, opencl_launch_overhead_s
+
+__all__ = ["cuda", "opencl", "cuda_launch_overhead_s", "opencl_launch_overhead_s"]

@@ -1,0 +1,4 @@
+"""CUDA runtime API (simulated)."""
+from .api import CudaContext, CudaError, CudaEvent, CudaFunction, DevicePointer
+
+__all__ = ["CudaContext", "CudaError", "CudaEvent", "CudaFunction", "DevicePointer"]

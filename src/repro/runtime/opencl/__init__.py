@@ -1,0 +1,30 @@
+"""OpenCL runtime API (simulated)."""
+from .api import (
+    Buffer,
+    CLError,
+    CommandQueue,
+    Context,
+    Device,
+    DeviceType,
+    Event,
+    Kernel,
+    Platform,
+    Program,
+    create_context_for,
+    get_platforms,
+)
+
+__all__ = [
+    "Buffer",
+    "CLError",
+    "CommandQueue",
+    "Context",
+    "Device",
+    "DeviceType",
+    "Event",
+    "Kernel",
+    "Platform",
+    "Program",
+    "create_context_for",
+    "get_platforms",
+]

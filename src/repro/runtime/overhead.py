@@ -1,0 +1,29 @@
+"""Per-runtime launch-overhead models.
+
+§IV-B.4 of the paper: "the kernel launch time of OpenCL is longer than
+that of CUDA (the gap size depends on the problem size), due to
+differences in the run-time environment."  BFS invokes its kernels once
+per frontier level, so this difference dominates its PR.
+
+Both overheads have a fixed driver cost plus a small per-work-item setup
+term; OpenCL's are larger (command-queue plumbing, richer argument
+marshalling).  Values are calibrated to 2010-era driver measurements
+(CUDA ~5 us, OpenCL ~10-20 us depending on ND-range size).
+"""
+from __future__ import annotations
+
+__all__ = ["cuda_launch_overhead_s", "opencl_launch_overhead_s"]
+
+CUDA_LAUNCH_FIXED_S = 5.0e-6
+CUDA_LAUNCH_PER_ITEM_S = 0.15e-9
+
+OPENCL_LAUNCH_FIXED_S = 10.0e-6
+OPENCL_LAUNCH_PER_ITEM_S = 0.5e-9
+
+
+def cuda_launch_overhead_s(total_work_items: int) -> float:
+    return CUDA_LAUNCH_FIXED_S + CUDA_LAUNCH_PER_ITEM_S * total_work_items
+
+
+def opencl_launch_overhead_s(total_work_items: int) -> float:
+    return OPENCL_LAUNCH_FIXED_S + OPENCL_LAUNCH_PER_ITEM_S * total_work_items

@@ -1,0 +1,20 @@
+"""SIMT simulator: flat memory, memory system, interpreter, timing."""
+from .device import LaunchFailure, LaunchResult, OutOfDeviceMemory, SimDevice
+from .interp import LaunchStats, SimulationError, run_grid
+from .memory import FlatMemory
+from .memsys import MemorySystem
+from .timing import KernelTiming, kernel_time
+
+__all__ = [
+    "SimDevice",
+    "LaunchResult",
+    "LaunchFailure",
+    "OutOfDeviceMemory",
+    "LaunchStats",
+    "SimulationError",
+    "run_grid",
+    "FlatMemory",
+    "MemorySystem",
+    "KernelTiming",
+    "kernel_time",
+]

@@ -1,0 +1,164 @@
+"""A simulated device: memory, caches, launch machinery.
+
+Both runtimes (``repro.runtime.cuda`` / ``repro.runtime.opencl``) sit on
+top of :class:`SimDevice`; the runtime layer adds the API surface and
+the per-runtime launch overhead, while this layer owns functional
+execution and the device-side timing model.
+"""
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping, Optional
+
+import numpy as np
+
+from ..arch.occupancy import Occupancy, occupancy
+from ..arch.specs import DeviceSpec
+from ..kir.types import Scalar, np_dtype
+from ..ptx.module import PTXKernel
+from .interp import LaunchStats, run_grid
+from .memory import FlatMemory, OutOfDeviceMemory
+from .memsys import MemorySystem
+from .timing import KernelTiming, kernel_time
+
+__all__ = ["SimDevice", "LaunchResult", "LaunchFailure", "OutOfDeviceMemory"]
+
+
+class LaunchFailure(RuntimeError):
+    """Kernel could not be launched (resource limits etc.)."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+
+
+@dataclasses.dataclass
+class LaunchResult:
+    timing: KernelTiming
+    stats: LaunchStats
+    occupancy: Occupancy
+
+    @property
+    def kernel_seconds(self) -> float:
+        return self.timing.total_s
+
+
+def _norm_dim(d) -> tuple:
+    if isinstance(d, int):
+        return (d, 1, 1)
+    d = tuple(d)
+    return d + (1,) * (3 - len(d))
+
+
+class SimDevice:
+    def __init__(self, spec: DeviceSpec):
+        self.spec = spec
+        self.mem = FlatMemory(spec.mem_capacity_mb * (1 << 20))
+        self.memsys = MemorySystem(spec)
+        self.launch_log: list = []
+
+    # -- memory -----------------------------------------------------------
+    def alloc(self, nbytes: int) -> int:
+        return self.mem.alloc(nbytes)
+
+    def free(self, base: int, nbytes: int) -> None:
+        self.mem.free(base, nbytes)
+
+    def upload(self, base: int, host: np.ndarray) -> float:
+        """Copy host->device; returns the modeled transfer seconds."""
+        self.mem.write_bytes(base, host)
+        return self._xfer_seconds(host.nbytes)
+
+    def download(self, base: int, count: int, scalar: Scalar) -> tuple:
+        arr = self.mem.read_array(base, count, scalar)
+        return arr, self._xfer_seconds(arr.nbytes)
+
+    def _xfer_seconds(self, nbytes: int) -> float:
+        if self.spec.pcie_gbps <= 0:
+            return nbytes / 8e9 + 2e-6  # in-host memcpy
+        return nbytes / (self.spec.pcie_gbps * 1e9) + 8e-6
+
+    # -- resource validation ------------------------------------------------
+    def check_launch(self, kernel: PTXKernel, block: tuple) -> Optional[str]:
+        """Return an error code if the launch cannot run on this device.
+
+        These are the checks behind Table VI's "ABT" rows: the Cell/BE's
+        small register file and local store reject FFT/DXTC/RdxS/STNW at
+        enqueue time with ``CL_OUT_OF_RESOURCES``.
+        """
+        spec = self.spec
+        threads = block[0] * block[1] * block[2]
+        if threads > spec.max_threads_per_block:
+            return "CL_OUT_OF_RESOURCES"
+        if kernel.resources.shared_bytes > spec.max_shared_per_block:
+            return "CL_OUT_OF_RESOURCES"
+        if kernel.resources.registers > spec.max_regs_per_thread:
+            return "CL_OUT_OF_RESOURCES"
+        if kernel.resources.registers * threads > spec.regfile_per_cu:
+            return "CL_OUT_OF_RESOURCES"
+        if (
+            kernel.resources.uses_texture
+            and not self.spec.supports_cuda()
+        ):
+            return "CL_INVALID_KERNEL"
+        return None
+
+    # -- launch ------------------------------------------------------------
+    def launch(
+        self,
+        kernel: PTXKernel,
+        grid,
+        block,
+        args: Mapping[str, object],
+    ) -> LaunchResult:
+        """Run ``kernel`` over the grid; mutates device memory.
+
+        ``args`` maps parameter names to device base addresses (pointer
+        params, as ints) and Python/numpy scalars (value params).
+        """
+        grid = _norm_dim(grid)
+        block = _norm_dim(block)
+        err = self.check_launch(kernel, block)
+        if err is not None:
+            raise LaunchFailure(err, f"kernel {kernel.name!r} block={block}")
+
+        prepared: dict = {}
+        for p in kernel.params:
+            if p.name not in args:
+                raise KeyError(f"missing kernel argument {p.name!r}")
+            v = args[p.name]
+            if p.is_pointer:
+                prepared[p.name] = np.uint32(int(v))
+            else:
+                prepared[p.name] = np_dtype(p.dtype)(v)
+
+        occ = occupancy(
+            self.spec,
+            block[0] * block[1] * block[2],
+            kernel.resources.registers,
+            kernel.resources.shared_bytes,
+        )
+        if occ.blocks_per_cu == 0:
+            raise LaunchFailure(
+                "CL_OUT_OF_RESOURCES",
+                f"kernel {kernel.name!r} does not fit on a compute unit",
+            )
+
+        before = self.memsys.dram_bytes.copy()
+        regions_before = dict(self.memsys.region_counts)
+        stats = run_grid(
+            kernel, self.spec, self.memsys, self.mem, prepared, grid, block
+        )
+        dram = self.memsys.dram_bytes - before
+        t = self.spec.timing
+        hot_cycles = 0.0
+        if t.partition_service_cycles > 0:
+            for region, count in self.memsys.region_counts.items():
+                delta = count - regions_before.get(region, 0)
+                over = delta - t.partition_hot_threshold
+                if over > 0:
+                    hot_cycles += over * t.partition_service_cycles
+        timing = kernel_time(self.spec, stats, dram, occ, hot_cycles)
+        result = LaunchResult(timing=timing, stats=stats, occupancy=occ)
+        self.launch_log.append((kernel.name, grid, block, timing.total_s))
+        return result

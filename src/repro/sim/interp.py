@@ -1,0 +1,537 @@
+"""SIMT functional interpreter over the virtual ISA.
+
+Execution model: one *block-wide* masked vector per thread block.  The
+reconvergence-stack mechanism is width-agnostic, so running all warps of
+a block in lockstep produces bit-identical functional results while
+letting every ALU instruction be a single numpy op over the whole block
+(the vectorize-don't-loop idiom of the HPC guides).
+
+Per-warp costs are recovered exactly: an instruction executed under mask
+``m`` is *issued* by every 32-lane group with an active lane, so its
+issue cost is ``cost * active_groups(m)`` — identical to executing warps
+one at a time.  Memory instructions are costed per hardware warp group
+(coalescing is a per-warp phenomenon) through
+:class:`~repro.sim.memsys.MemorySystem`.
+
+Barriers become no-ops under block-lockstep (the interpreter checks the
+mask is converged, which the KIR validator already guarantees), and
+warp-synchronous idioms remain correct because block-lockstep is
+strictly stronger than warp-lockstep.
+"""
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from ..arch.specs import DeviceSpec
+from ..kir.types import AddrSpace, Scalar, np_dtype, sizeof
+from ..ptx.instructions import Imm, Instr, Reg
+from ..ptx.isa import Op, stats_key
+from ..ptx.module import PTXKernel
+from .memory import FlatMemory
+from .memsys import MemorySystem
+
+__all__ = ["LaunchStats", "run_grid", "SimulationError"]
+
+_SFU_OPS = {Op.SQRT, Op.RSQRT, Op.SIN, Op.COS, Op.EX2, Op.LG2}
+
+_CMP = {
+    "lt": np.less,
+    "le": np.less_equal,
+    "gt": np.greater,
+    "ge": np.greater_equal,
+    "eq": np.equal,
+    "ne": np.not_equal,
+}
+
+
+class SimulationError(RuntimeError):
+    pass
+
+
+class LaunchStats:
+    """Dynamic execution statistics of one kernel launch."""
+
+    def __init__(self, n_cu: int):
+        self.comp_cycles = np.zeros(n_cu, dtype=np.float64)
+        self.mem_cycles = np.zeros(n_cu, dtype=np.float64)
+        self.dyn_hist: Counter = Counter()
+        self.warp_instructions = 0
+        self.mem_instructions = 0
+        self.blocks = 0
+        self.barriers = 0
+        #: per-warp memory-level-parallelism credit from straight-line
+        #: code length (unrolled bodies issue more independent loads)
+        self.ilp_factor = 1.0
+
+
+class GridRunner:
+    def __init__(
+        self,
+        kernel: PTXKernel,
+        spec: DeviceSpec,
+        memsys: MemorySystem,
+        mem: FlatMemory,
+        args: dict,
+        grid: tuple,
+        block: tuple,
+    ):
+        self.k = kernel
+        self.spec = spec
+        self.memsys = memsys
+        self.mem = mem
+        self.args = args
+        self.grid = grid
+        self.block = block
+        self.WW = spec.warp_width
+        self.stats = LaunchStats(spec.compute_units)
+        self._prepare_geometry()
+        self._prepare_code()
+        self.stats.ilp_factor = self._static_ilp()
+
+    # -- preparation -----------------------------------------------------
+    def _prepare_geometry(self) -> None:
+        bx, by, bz = self.block
+        tpb = bx * by * bz
+        # pad block width to a whole number of hardware warps
+        self.width = -(-tpb // self.WW) * self.WW
+        self.ngroups_full = self.width // self.WW
+        lin = np.arange(self.width, dtype=np.uint32)
+        self.tid = (lin % bx, (lin // bx) % by, lin // (bx * by))
+        self.mask0 = lin < tpb
+        self.groups_full = int(
+            self.mask0.reshape(-1, self.WW).any(axis=1).sum()
+        )
+
+    def _prepare_code(self) -> None:
+        """Pre-resolve labels, costs, and histogram keys per instruction."""
+        instrs = self.k.instrs
+        labels = self.k.label_map()
+        t = self.spec.timing
+        self.instrs = instrs
+        self.n_instr = len(instrs)
+        self.target_pc = [0] * self.n_instr
+        self.reconv_pc = [0] * self.n_instr
+        self.cost = [0.0] * self.n_instr
+        self.hkey = [""] * self.n_instr
+        self.imm_cache: list = [None] * self.n_instr
+        for pc, i in enumerate(instrs):
+            if i.op is Op.BRA:
+                self.target_pc[pc] = labels[i.target]
+                if i.reconv is not None:
+                    self.reconv_pc[pc] = labels[i.reconv]
+            c = t.alu_cycles
+            if i.op in _SFU_OPS:
+                c *= t.sfu_factor
+            elif i.dtype is Scalar.F64 and i.op is not Op.LD and i.op is not Op.ST:
+                c *= 8.0
+            elif i.op in (Op.DIV, Op.REM) and i.dtype not in (
+                Scalar.F32,
+                Scalar.F64,
+            ):
+                c *= t.idiv_factor
+            if i.op is Op.MOV and i.sreg is None and i.srcs and not isinstance(i.srcs[0], Imm):
+                c *= t.reg_mov_factor
+            self.cost[pc] = c
+            self.hkey[pc] = stats_key(i.op, i.space)
+            self.imm_cache[pc] = tuple(
+                np_dtype(s.dtype)(s.value) if isinstance(s, Imm) else None
+                for s in i.srcs
+            )
+
+    def _static_ilp(self) -> float:
+        """MLP credit from straight-line body length.
+
+        A warp overlaps the independent loads inside one basic-block
+        run; unrolled kernels have much longer runs (this is the
+        documented reason unrolling helps memory-bound GPU code even
+        when occupancy drops).  Scale: +1x per ~256 instructions of
+        average back-edge-free run, capped at 2x.
+        """
+        real = [i for i in self.instrs if i.op is not Op.LABEL]
+        loops = sum(
+            1
+            for pc, i in enumerate(self.instrs)
+            if i.op is Op.BRA
+            and self.target_pc[pc] <= pc
+        )
+        run = len(real) / (loops + 1)
+        return float(min(2.0, 1.0 + run / 384.0))
+
+    # -- register file -----------------------------------------------------
+    def _read(self, regs: dict, operand, pc: int, slot: int):
+        imm = self.imm_cache[pc][slot]
+        if imm is not None:
+            return imm
+        arr = regs.get(operand.idx)
+        if arr is None:
+            arr = np.zeros(self.width, dtype=np_dtype(operand.dtype))
+            regs[operand.idx] = arr
+        return arr
+
+    def _write(self, regs: dict, dst: Reg, val, mask, full: bool):
+        dt = np_dtype(dst.dtype)
+        arr = regs.get(dst.idx)
+        if arr is None:
+            arr = np.zeros(self.width, dtype=dt)
+            regs[dst.idx] = arr
+        if np.ndim(val) == 0:
+            if full:
+                arr[:] = val
+            else:
+                arr[mask] = dt(val)
+        else:
+            if val.dtype != dt:
+                val = val.astype(dt)
+            if full:
+                arr[:] = val
+            else:
+                arr[mask] = val[mask]
+
+    @staticmethod
+    def _ngroups(mask: np.ndarray, ww: int) -> int:
+        return int(mask.reshape(-1, ww).any(axis=1).sum())
+
+    # -- ALU semantics -----------------------------------------------------
+    def _alu(self, i: Instr, a, b=None, c=None):
+        op = i.op
+        if op is Op.ADD:
+            return a + b
+        if op is Op.SUB:
+            return a - b
+        if op is Op.MUL:
+            return a * b
+        if op is Op.MAD or op is Op.FMA:
+            return a * b + c
+        if op is Op.DIV:
+            if i.dtype in (Scalar.F32, Scalar.F64):
+                return a / b
+            safe = np.where(b == 0, 1, b)
+            return np.where(b == 0, 0, a // safe) if np.ndim(b) else (
+                a // b if b else a * 0
+            )
+        if op is Op.REM:
+            if np.ndim(b) == 0:
+                return a % b if b else a * 0
+            safe = np.where(b == 0, 1, b)
+            return np.where(b == 0, 0, a % safe)
+        if op is Op.MIN:
+            return np.minimum(a, b)
+        if op is Op.MAX:
+            return np.maximum(a, b)
+        if op is Op.AND:
+            return np.logical_and(a, b) if i.dtype is Scalar.PRED else a & b
+        if op is Op.OR:
+            return np.logical_or(a, b) if i.dtype is Scalar.PRED else a | b
+        if op is Op.XOR:
+            return np.logical_xor(a, b) if i.dtype is Scalar.PRED else a ^ b
+        if op is Op.SHL:
+            return a << (b & 31 if np.ndim(b) else int(b) & 31)
+        if op is Op.SHR:
+            return a >> (b & 31 if np.ndim(b) else int(b) & 31)
+        if op is Op.NEG:
+            return -a
+        if op is Op.NOT:
+            return np.logical_not(a) if i.dtype is Scalar.PRED else ~a
+        if op is Op.ABS:
+            return np.abs(a)
+        if op is Op.SQRT:
+            return np.sqrt(np.maximum(a, 0))
+        if op is Op.RSQRT:
+            return 1.0 / np.sqrt(a)
+        if op is Op.SIN:
+            return np.sin(a)
+        if op is Op.COS:
+            return np.cos(a)
+        if op is Op.EX2:
+            return np.exp2(np.minimum(a, 126.0))
+        if op is Op.LG2:
+            return np.log2(np.maximum(a, np.finfo(np.float32).tiny))
+        if op is Op.FLOOR:
+            return np.floor(a)
+        if op is Op.CVT:
+            dt = np_dtype(i.dtype)
+            return dt(a) if np.ndim(a) == 0 else a.astype(dt)
+        raise SimulationError(f"no ALU semantics for {op}")  # pragma: no cover
+
+    # -- block execution -----------------------------------------------------
+    def run_block(self, bidx: tuple, cu: int) -> None:
+        spec = self.spec
+        t = spec.timing
+        stats = self.stats
+        hist = stats.dyn_hist
+        WW = self.WW
+        instrs = self.instrs
+        n = self.n_instr
+
+        geom = {
+            "tid.x": self.tid[0],
+            "tid.y": self.tid[1],
+            "tid.z": self.tid[2],
+            "ctaid.x": np.uint32(bidx[0]),
+            "ctaid.y": np.uint32(bidx[1]),
+            "ctaid.z": np.uint32(bidx[2]),
+            "ntid.x": np.uint32(self.block[0]),
+            "ntid.y": np.uint32(self.block[1]),
+            "ntid.z": np.uint32(self.block[2]),
+            "nctaid.x": np.uint32(self.grid[0]),
+            "nctaid.y": np.uint32(self.grid[1]),
+            "nctaid.z": np.uint32(self.grid[2]),
+        }
+        shared = FlatMemory(max(self.k.resources.shared_bytes, 64))
+        regs: dict[int, np.ndarray] = {}
+        local: dict[int, np.ndarray] = {}
+        # frames: [mask, pc, reconv_pc, ngroups, is_full]
+        frames: list[list] = [[self.mask0, 0, n + 1, self.groups_full, True]]
+        prev_op: Op | None = None
+        comp = 0.0
+        memc = 0.0
+        barriers = 0
+        steps = 0
+
+        while frames:
+            frame = frames[-1]
+            mask, pc, rec, ngr, full = frame
+            if pc >= n:
+                break
+            if pc == rec and len(frames) > 1:
+                frames.pop()
+                continue
+            steps += 1
+            if steps > 80_000_000:  # pragma: no cover - runaway guard
+                raise SimulationError("runaway kernel (80M block steps)")
+            i = instrs[pc]
+            op = i.op
+            if op is Op.LABEL:
+                frame[1] = pc + 1
+                continue
+            if op is Op.EXIT:
+                break
+
+            active = mask
+            afull = full
+            if i.pred is not None:
+                p, sense = i.pred
+                pv = regs.get(p.idx)
+                if pv is None:
+                    pv = regs[p.idx] = np.zeros(self.width, dtype=bool)
+                active = (mask & pv) if sense else (mask & ~pv)
+                afull = False
+
+            if op is Op.BRA:
+                comp += t.alu_cycles * ngr
+                stats.warp_instructions += ngr
+                hist["bra"] += ngr
+                if i.pred is None:
+                    frame[1] = self.target_pc[pc]
+                    continue
+                taken = active
+                any_taken = taken.any()
+                ntaken = mask & ~taken
+                any_nt = ntaken.any()
+                if not any_taken:
+                    frame[1] = pc + 1
+                    continue
+                if not any_nt:
+                    frame[1] = self.target_pc[pc]
+                    continue
+                rpc = self.reconv_pc[pc]
+                frame[1] = rpc
+                frames.append(
+                    [ntaken, pc + 1, rpc, self._ngroups(ntaken, WW), False]
+                )
+                frames.append(
+                    [taken, self.target_pc[pc], rpc, self._ngroups(taken, WW), False]
+                )
+                continue
+
+            if op is Op.BAR:
+                # block-lockstep: check convergence, charge, move on
+                if len(frames) > 1:
+                    raise SimulationError(
+                        f"kernel {self.k.name!r}: barrier under divergence"
+                    )
+                barriers += 1
+                comp += t.alu_cycles * ngr
+                frame[1] = pc + 1
+                continue
+
+            stats.warp_instructions += ngr
+            hist[self.hkey[pc]] += ngr
+
+            if op is Op.MOV:
+                if i.sreg is not None:
+                    val = geom[i.sreg]
+                    comp += t.alu_cycles * ngr
+                else:
+                    val = self._read(regs, i.srcs[0], pc, 0)
+                    # reg-to-reg movs are mostly renamed away by ptxas
+                    comp += self.cost[pc] * ngr
+                self._write(regs, i.dst, val, active, afull)
+            elif op is Op.LD and i.space is AddrSpace.PARAM:
+                self._write(regs, i.dst, self.args[i.param], active, afull)
+                comp += t.alu_cycles * ngr
+            elif op is Op.LD and i.space is AddrSpace.LOCAL:
+                off = int(i.srcs[0].value)
+                slot = local.get(off)
+                if slot is None:
+                    slot = local[off] = np.zeros(
+                        self.width, dtype=np_dtype(i.dtype)
+                    )
+                self._write(regs, i.dst, slot, active, afull)
+                memc += (
+                    self.memsys.access_local(cu, sizeof(i.dtype), sizeof(i.dtype))
+                    * ngr
+                )
+                stats.mem_instructions += ngr
+            elif op is Op.ST and i.space is AddrSpace.LOCAL:
+                off = int(i.srcs[0].value)
+                val = self._read(regs, i.srcs[1], pc, 1)
+                slot = local.get(off)
+                if slot is None:
+                    slot = local[off] = np.zeros(
+                        self.width, dtype=np_dtype(i.dtype)
+                    )
+                if np.ndim(val) == 0:
+                    slot[active] = val
+                else:
+                    slot[active] = val[active]
+                memc += (
+                    self.memsys.access_local(cu, sizeof(i.dtype), sizeof(i.dtype))
+                    * ngr
+                )
+                stats.mem_instructions += ngr
+            elif op is Op.LD or op is Op.ST or op is Op.TEX:
+                memc += self._memory_access(regs, i, pc, cu, shared, active, afull)
+                stats.mem_instructions += ngr
+            elif op is Op.SETP:
+                a = self._read(regs, i.srcs[0], pc, 0)
+                b = self._read(regs, i.srcs[1], pc, 1)
+                val = _CMP[i.cmp](a, b)
+                if np.ndim(val) == 0:
+                    val = np.full(self.width, bool(val))
+                self._write(regs, i.dst, val, active, afull)
+                comp += t.alu_cycles * ngr
+            elif op is Op.SELP:
+                a = self._read(regs, i.srcs[0], pc, 0)
+                b = self._read(regs, i.srcs[1], pc, 1)
+                p = self._read(regs, i.srcs[2], pc, 2)
+                self._write(regs, i.dst, np.where(p, a, b), active, afull)
+                comp += t.alu_cycles * ngr
+            else:
+                srcs = [
+                    self._read(regs, s, pc, j) for j, s in enumerate(i.srcs)
+                ]
+                val = self._alu(i, *srcs)
+                self._write(regs, i.dst, val, active, afull)
+                cost = self.cost[pc]
+                if (
+                    t.dual_issue_efficiency > 0
+                    and op is Op.MUL
+                    and (prev_op is Op.MAD or prev_op is Op.FMA)
+                    and i.dtype is Scalar.F32
+                ):
+                    cost *= 1.0 - t.dual_issue_efficiency
+                comp += cost * ngr
+                prev_op = op  # pairing looks through movs/loads
+
+            frame[1] = pc + 1
+
+        stats.comp_cycles[cu] += comp
+        stats.mem_cycles[cu] += memc
+        stats.barriers += barriers
+        stats.blocks += 1
+
+    def _memory_access(
+        self, regs, i: Instr, pc: int, cu: int, shared, active, afull
+    ) -> float:
+        size = sizeof(i.dtype)
+        WW = self.WW
+        if i.op is Op.TEX:
+            idx = self._read(regs, i.srcs[0], pc, 0)
+            base = int(self.args[i.param])
+            if np.ndim(idx) == 0:
+                idx = np.full(self.width, idx)
+            addr_full = idx.astype(np.int64) * size + base
+        else:
+            a = self._read(regs, i.srcs[0], pc, 0)
+            if np.ndim(a) == 0:
+                a = np.full(self.width, a)
+            addr_full = a.astype(np.int64)
+
+        cost = 0.0
+        # per hardware-warp costing (coalescing is per warp)
+        amat = addr_full.reshape(-1, WW)
+        mmat = active.reshape(-1, WW)
+        rows = np.flatnonzero(mmat.any(axis=1))
+        if i.op is Op.TEX:
+            for r in rows.tolist():
+                aa = amat[r][mmat[r]]
+                ss = np.full(aa.shape, size, dtype=np.int64)
+                cost += self.memsys.access_texture(cu, aa, ss)
+            addrs = addr_full[active]
+            val = self.mem.load(addrs, i.dtype)
+            dt = np_dtype(i.dtype)
+            arr = regs.get(i.dst.idx)
+            if arr is None:
+                arr = regs[i.dst.idx] = np.zeros(self.width, dtype=dt)
+            arr[active] = val
+            return cost
+
+        space = i.space
+        if space is AddrSpace.SHARED:
+            target = shared
+            for r in rows.tolist():
+                cost += self.memsys.access_shared(cu, amat[r][mmat[r]])
+        elif space is AddrSpace.CONST:
+            target = self.mem
+            for r in rows.tolist():
+                cost += self.memsys.access_const(cu, amat[r][mmat[r]])
+        else:
+            target = self.mem
+            is_store = i.op is Op.ST
+            for r in rows.tolist():
+                aa = amat[r][mmat[r]]
+                ss = np.full(aa.shape, size, dtype=np.int64)
+                cost += self.memsys.access_global(cu, aa, ss, is_store)
+
+        addrs = addr_full[active]
+        if i.op is Op.ST:
+            val = self._read(regs, i.srcs[1], pc, 1)
+            if np.ndim(val) == 0:
+                val = np.full(self.width, val, dtype=np_dtype(i.dtype))
+            target.store(addrs, val[active], i.dtype)
+        else:
+            out = target.load(addrs, i.dtype)
+            dt = np_dtype(i.dtype)
+            arr = regs.get(i.dst.idx)
+            if arr is None:
+                arr = regs[i.dst.idx] = np.zeros(self.width, dtype=dt)
+            arr[active] = out
+        return cost
+
+    def run(self) -> LaunchStats:
+        gx, gy, gz = self.grid
+        n_cu = self.spec.compute_units
+        lin = 0
+        with np.errstate(all="ignore"):
+            for bz in range(gz):
+                for by in range(gy):
+                    for bx in range(gx):
+                        self.run_block((bx, by, bz), lin % n_cu)
+                        lin += 1
+        return self.stats
+
+
+def run_grid(
+    kernel: PTXKernel,
+    spec: DeviceSpec,
+    memsys: MemorySystem,
+    mem: FlatMemory,
+    args: dict,
+    grid: tuple,
+    block: tuple,
+) -> LaunchStats:
+    """Execute ``kernel`` over the ND-range; returns dynamic statistics."""
+    return GridRunner(kernel, spec, memsys, mem, args, grid, block).run()

@@ -1,0 +1,115 @@
+"""Flat byte-addressed device memory with typed vector access.
+
+One :class:`FlatMemory` instance backs a device's global+constant space
+(buffers are allocated at offsets inside it, so the coalescer sees real
+byte addresses); small per-block instances back shared memory.  Loads
+and stores are numpy-vectorized over warp lanes — per the HPC guides,
+the hot path avoids Python-level per-lane loops entirely.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from ..kir.types import Scalar, np_dtype, sizeof
+
+__all__ = ["FlatMemory", "OutOfDeviceMemory"]
+
+_ALIGN = 256
+
+
+class OutOfDeviceMemory(MemoryError):
+    """Allocation exceeds the device's memory capacity."""
+
+
+class FlatMemory:
+    def __init__(self, capacity: int):
+        self.capacity = int(capacity)
+        # pad so any aligned typed view fits
+        self._buf = np.zeros(self.capacity + 8, dtype=np.uint8)
+        self._brk = _ALIGN  # never hand out address 0
+        self._free: list[tuple[int, int]] = []
+        self._views: dict = {}
+        #: count of wrapped out-of-range accesses (kernel bugs; see load)
+        self.oob_accesses = 0
+
+    # -- allocation -----------------------------------------------------
+    def alloc(self, nbytes: int) -> int:
+        nbytes = max(int(nbytes), 1)
+        need = (nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+        for i, (base, size) in enumerate(self._free):
+            if size >= need:
+                self._free.pop(i)
+                if size > need:
+                    self._free.append((base + need, size - need))
+                return base
+        base = self._brk
+        if base + need > self.capacity:
+            raise OutOfDeviceMemory(
+                f"device memory exhausted: want {need}B at {base}, "
+                f"capacity {self.capacity}B"
+            )
+        self._brk += need
+        return base
+
+    def free(self, base: int, nbytes: int) -> None:
+        need = (int(nbytes) + _ALIGN - 1) // _ALIGN * _ALIGN
+        self._free.append((base, need))
+
+    def reset(self) -> None:
+        self._brk = _ALIGN
+        self._free.clear()
+        self._buf[:] = 0
+
+    # -- typed access ----------------------------------------------------
+    def _view(self, scalar: Scalar) -> np.ndarray:
+        v = self._views.get(scalar)
+        if v is None:
+            size = sizeof(scalar)
+            usable = (self._buf.size // size) * size
+            v = self._buf[:usable].view(np_dtype(scalar))
+            self._views[scalar] = v
+        return v
+
+    def load(self, addrs: np.ndarray, scalar: Scalar) -> np.ndarray:
+        """Gather one value per address (addresses must be aligned).
+
+        Out-of-range addresses wrap around the device memory: real GPUs
+        give undefined (but non-faulting) results for wild reads, and
+        Table VI's "FL" rows depend on buggy kernels *completing*.
+        """
+        size = sizeof(scalar)
+        view = self._view(scalar)
+        idx = (addrs // size) % view.size
+        if (idx < 0).any() or ((addrs // size) != idx).any():
+            self.oob_accesses += int(np.count_nonzero((addrs // size) != idx))
+            idx = idx % view.size
+        return view[idx]
+
+    def store(self, addrs: np.ndarray, values: np.ndarray, scalar: Scalar) -> None:
+        """Scatter ``values`` to byte ``addrs``.
+
+        Intra-warp same-address conflicts resolve to the *last* lane, as
+        CUDA/OpenCL leave them undefined but hardware picks one winner.
+        Out-of-range addresses wrap (see :meth:`load`).
+        """
+        size = sizeof(scalar)
+        view = self._view(scalar)
+        raw = addrs // size
+        idx = raw % view.size
+        bad = raw != idx
+        if bad.any():
+            self.oob_accesses += int(np.count_nonzero(bad))
+        view[idx] = values
+
+    # convenience for the runtimes -----------------------------------------
+    def write_bytes(self, base: int, data: np.ndarray) -> None:
+        raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        self._buf[base : base + raw.size] = raw
+
+    def read_bytes(self, base: int, nbytes: int) -> np.ndarray:
+        return self._buf[base : base + nbytes].copy()
+
+    def read_array(self, base: int, count: int, scalar: Scalar) -> np.ndarray:
+        size = sizeof(scalar)
+        raw = self._buf[base : base + count * size]
+        return raw.view(np_dtype(scalar)).copy()

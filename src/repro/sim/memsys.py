@@ -1,0 +1,150 @@
+"""The memory system: per-CU caches + DRAM cost accounting.
+
+For every executed warp memory instruction the interpreter calls one of
+the ``access_*`` methods with the active lanes' byte addresses.  The
+method updates cache state, returns the instruction's latency in core
+cycles, and accrues DRAM traffic.  Costs follow a simple serialization
+model: the slowest miss level sets the base latency and every extra
+transaction adds ``tx_cycles``.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from ..arch.banks import bank_conflicts
+from ..arch.caches import LRUCache, null_cache
+from ..arch.coalesce import coalesce
+from ..arch.specs import DeviceSpec
+
+__all__ = ["MemorySystem", "AccessCost"]
+
+
+class MemorySystem:
+    def __init__(self, spec: DeviceSpec):
+        self.spec = spec
+        t = spec.timing
+        n = spec.compute_units
+        if spec.has_global_cache:
+            self.l1 = [LRUCache(spec.l1_bytes, spec.line_bytes) for _ in range(n)]
+            self.l2 = LRUCache(spec.l2_bytes, spec.line_bytes, ways=8)
+        else:
+            self.l1 = [null_cache() for _ in range(n)]
+            self.l2 = null_cache()
+        self.tex = [
+            LRUCache(max(spec.tex_cache_bytes, 32), 32) for _ in range(n)
+        ]
+        self.const = [
+            LRUCache(max(spec.const_cache_bytes, 64), 64) for _ in range(n)
+        ]
+        # traffic accounting (per CU)
+        self.dram_bytes = np.zeros(n, dtype=np.float64)
+        # DRAM accesses per 256B region (partition-camping model);
+        # only accesses that actually reach DRAM are counted
+        from collections import Counter
+
+        self.region_counts: Counter = Counter()
+
+    def _count_regions(self, bases) -> None:
+        for b in bases:
+            self.region_counts[int(b) >> 8] += 1
+
+    # ------------------------------------------------------------------
+    def access_global(
+        self, cu: int, addrs: np.ndarray, sizes: np.ndarray, is_store: bool
+    ) -> float:
+        """Plain global-space access (the ld.global/st.global path)."""
+        t = self.spec.timing
+        segs, traffic = coalesce(self.spec, addrs, sizes)
+        nseg = max(int(segs.size), 1)
+        if is_store:
+            # write-through, fire-and-forget: traffic but little stall
+            self.dram_bytes[cu] += traffic
+            if self.spec.has_global_cache:
+                for b in segs.tolist():
+                    self.l2.access(int(b))
+            else:
+                self._count_regions(segs.tolist())
+            return t.tx_cycles * nseg
+        if not self.spec.has_global_cache:
+            self.dram_bytes[cu] += traffic
+            self._count_regions(segs.tolist())
+            return t.dram_latency + t.tx_cycles * (nseg - 1)
+        # Fermi-style: L1 -> L2 -> DRAM
+        worst = t.l1_hit
+        per_seg = traffic / nseg if nseg else 0.0
+        for b in segs.tolist():
+            b = int(b)
+            if self.l1[cu].access(b):
+                continue
+            if self.l2.access(b):
+                worst = max(worst, t.l2_hit)
+            else:
+                worst = max(worst, t.dram_latency)
+                self.dram_bytes[cu] += per_seg
+                self.region_counts[b >> 8] += 1
+        return worst + t.tx_cycles * (nseg - 1)
+
+    def access_texture(self, cu: int, addrs: np.ndarray, sizes: np.ndarray) -> float:
+        """Texture-path read: small per-CU cache over global data.
+
+        This is what makes the irregular gathers of MD/SPMV look regular
+        (paper §IV-B.1) — reuse is captured close to the CU even on
+        GT200, which has no other global-read cache.
+        """
+        t = self.spec.timing
+        line = 32
+        first = addrs // line
+        last = (addrs + np.maximum(sizes, 1) - 1) // line
+        lines = np.union1d(first, last) * line
+        nseg = max(int(lines.size), 1)
+        worst = t.tex_hit
+        for b in lines.tolist():
+            if not self.tex[cu].access(int(b)):
+                worst = max(worst, t.dram_latency)
+                self.dram_bytes[cu] += line
+                self.region_counts[int(b) >> 8] += 1
+        # the texture pipeline is built for many small scattered
+        # fetches: extra segments are much cheaper than on the L1 path
+        return worst + t.tx_cycles * 0.2 * (nseg - 1)
+
+    def access_const(self, cu: int, addrs: np.ndarray) -> float:
+        """Constant-cache read: broadcast when all lanes agree.
+
+        Distinct addresses serialize — the defining behaviour of the
+        constant path on every CUDA-class device.
+        """
+        t = self.spec.timing
+        uniq = np.unique(addrs)
+        cost = 0.0
+        for a in uniq.tolist():
+            base = (int(a) // 64) * 64
+            if self.const[cu].access(base):
+                cost += t.const_hit
+            else:
+                cost += t.dram_latency
+                self.dram_bytes[cu] += 64
+                self.region_counts[base >> 8] += 1
+        return cost
+
+    def access_shared(self, cu: int, addrs: np.ndarray) -> float:
+        """Banked shared/local-memory access."""
+        t = self.spec.timing
+        if self.spec.local_mem_is_plain_memory:
+            # CPU device: "local" memory is ordinary cached memory — the
+            # staging copy is pure overhead (paper §V, TranP on Intel920)
+            return t.shared_latency
+        replays = bank_conflicts(self.spec, addrs)
+        return t.shared_latency + (replays - 1) * 4.0
+
+    def access_local(self, cu: int, nbytes_per_thread: int, width: int) -> float:
+        """Register-spill traffic (``ld.local``/``st.local``).
+
+        GT200 spills straight to DRAM (interleaved, hence coalesced);
+        Fermi spills are usually caught by L1.
+        """
+        t = self.spec.timing
+        traffic = width * self.spec.warp_width
+        if self.spec.has_global_cache:
+            return t.l1_hit
+        self.dram_bytes[cu] += traffic
+        return t.dram_latency * 0.5 + t.tx_cycles

@@ -1,0 +1,85 @@
+"""Analytical timing: dynamic statistics -> kernel execution time.
+
+A Hong–Kim-flavored model, per compute unit:
+
+* ``comp``  — total warp issue cycles / ALU efficiency
+* ``mem``   — total memory latency cycles / memory-level parallelism,
+  floored by the CU's slice of effective DRAM bandwidth
+* total    — ``max(comp, mem) + leak * min(comp, mem) + ramp``
+
+The kernel takes as long as its slowest CU.  Memory-level parallelism is
+``min(active warps, mwp_cap)``: this is how occupancy (registers/shared
+usage) becomes time, and how low-occupancy or few-block launches expose
+latency (the BFS/Sobel effects).
+"""
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..arch.occupancy import Occupancy
+from ..arch.peak import theoretical_bandwidth_gbs
+from ..arch.specs import DeviceSpec
+from .interp import LaunchStats
+
+__all__ = ["KernelTiming", "kernel_time"]
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelTiming:
+    total_s: float
+    comp_s: float
+    mem_s: float
+    dram_bytes: float
+    bound: str  # "compute" | "memory"
+    occupancy_warps: int
+
+
+def kernel_time(
+    spec: DeviceSpec,
+    stats: LaunchStats,
+    dram_bytes: np.ndarray,
+    occ: Occupancy,
+    hot_cycles: float = 0.0,
+) -> KernelTiming:
+    """``dram_bytes``: per-CU DRAM traffic of *this* launch (the caller
+    snapshots the memory system before/after, since caches stay warm
+    across launches).  ``hot_cycles`` is the device-wide DRAM
+    partition-contention serialization of this launch."""
+    t = spec.timing
+    hz = spec.core_clock_hz()
+    warps = max(occ.warps_per_cu, 1)
+    conc = min(float(warps) * stats.ilp_factor, t.mwp_cap)
+
+    comp_cy = stats.comp_cycles / max(t.alu_efficiency, 1e-6)
+    mem_cy = stats.mem_cycles / conc
+
+    comp_s = comp_cy / hz
+    mem_s = mem_cy / hz
+
+    hi = np.maximum(comp_s, mem_s)
+    lo = np.minimum(comp_s, mem_s)
+    per_cu = hi + t.overlap_leak * lo
+
+    # DRAM bandwidth is a *device-wide* resource: bound the launch by
+    # total traffic over effective bandwidth, not per-CU slices (a CU
+    # with extra blocks may use more than its 1/N share)
+    bw = theoretical_bandwidth_gbs(spec) * 1e9 * t.dram_efficiency
+    bw_s = float(dram_bytes.sum()) / bw
+    # even a fully bandwidth-bound launch pays a sliver of its issue
+    # stream (imperfect overlap) — this is where the mov-richer CUDA
+    # stream loses its few percent on DeviceMemory (Fig. 1)
+    bw_total = bw_s + t.overlap_leak * float(comp_s.max())
+    hot_s = hot_cycles / hz  # device-wide serialization (partition camping)
+    total = max(float(per_cu.max()), bw_total, hot_s) + t.ramp_us * 1e-6
+
+    c_tot, m_tot = float(comp_s.sum()), float(max(mem_s.sum(), bw_s))
+    return KernelTiming(
+        total_s=total,
+        comp_s=c_tot,
+        mem_s=m_tot,
+        dram_bytes=float(dram_bytes.sum()),
+        bound="compute" if c_tot >= m_tot else "memory",
+        occupancy_warps=occ.warps_per_cu,
+    )

@@ -1,0 +1,154 @@
+"""Functional correctness of all 16 benchmarks, both APIs, both GPUs.
+
+Every benchmark validates its device results against an independent
+numpy (or pure-python) reference, so ``r.correct`` is a real end-to-end
+check through builder -> front end -> ptxas -> SIMT simulator -> runtime.
+"""
+import numpy as np
+import pytest
+
+from repro.arch import GTX280, GTX480
+from repro.benchsuite import (
+    REAL_WORLD,
+    REGISTRY,
+    SYNTHETIC,
+    TABLE2,
+    get_benchmark,
+    host_for,
+)
+
+ALL_NAMES = SYNTHETIC + REAL_WORLD
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_correct_on_gtx480_both_apis(name):
+    for api in ("cuda", "opencl"):
+        r = get_benchmark(name).run(host_for(api, GTX480), size="small")
+        assert r.ok(), f"{name}/{api}: {r.failure}"
+        assert r.value > 0 or not r.unit.endswith("sec")
+        assert r.kernel_seconds > 0
+
+
+@pytest.mark.parametrize("name", ["Sobel", "FFT", "RdxS", "FDTD", "BFS", "Scan"])
+def test_correct_on_gtx280_both_apis(name):
+    for api in ("cuda", "opencl"):
+        r = get_benchmark(name).run(host_for(api, GTX280), size="small")
+        assert r.ok(), f"{name}/{api}: {r.failure}"
+
+
+class TestRegistry:
+    def test_sixteen_benchmarks(self):
+        assert len(REGISTRY) == 16
+        assert len(REAL_WORLD) == 14 and len(SYNTHETIC) == 2
+
+    def test_table2_metadata_matches_classes(self):
+        for row in TABLE2:
+            bench = get_benchmark(row.name)
+            assert bench.metric.unit.lower().startswith(
+                row.metric.split("/")[0].lower()[:2]
+            ) or bench.metric.unit == row.metric
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            get_benchmark("nope")
+
+    def test_paper_suites_attributed(self):
+        suites = {r.name: r.suite for r in TABLE2}
+        assert suites["BFS"] == "Rodinia"
+        assert suites["Sobel"] == "SELF" and suites["TranP"] == "SELF"
+        assert suites["FFT"] == "SHOC"
+        assert suites["RdxS"] == "NSDK"
+
+
+class TestOptionDefaults:
+    def test_sobel_asymmetric_constant_default(self):
+        from repro.kir.dialect import CUDA, OPENCL
+
+        b = get_benchmark("Sobel")
+        assert b.options_for(CUDA, None)["use_constant"] is False
+        assert b.options_for(OPENCL, None)["use_constant"] is True
+
+    def test_md_spmv_texture_default(self):
+        from repro.kir.dialect import CUDA, OPENCL
+
+        for name in ("MD", "SPMV"):
+            b = get_benchmark(name)
+            assert b.options_for(CUDA, None)["use_texture"] is True
+            assert b.options_for(OPENCL, None)["use_texture"] is False
+
+    def test_fdtd_pragma_defaults(self):
+        from repro.kir.dialect import CUDA, OPENCL
+
+        b = get_benchmark("FDTD")
+        assert b.options_for(CUDA, None)["unroll_a"] == 9
+        assert b.options_for(OPENCL, None)["unroll_a"] is None
+
+    def test_overrides_win(self):
+        from repro.kir.dialect import CUDA
+
+        b = get_benchmark("Sobel")
+        assert b.options_for(CUDA, {"use_constant": True})["use_constant"] is True
+
+    def test_opencl_never_gets_texture_kernels(self):
+        from repro.kir.dialect import OPENCL
+
+        b = get_benchmark("MD")
+        kerns = b.kernels(
+            OPENCL, b.options_for(OPENCL, {"use_texture": True}), {"WARP_SIZE": 32},
+            b.sizes()["small"],
+        )
+        assert not any(k.uses_texture() for k in kerns)
+
+
+class TestWarpSizeBug:
+    """The RdxS Table VI mechanism, pinned down."""
+
+    def test_correct_when_warp_is_32(self):
+        r = get_benchmark("RdxS").run(host_for("opencl", GTX480), size="small")
+        assert r.correct
+
+    def test_fails_when_wavefront_is_64(self):
+        from repro.arch import HD5870
+
+        r = get_benchmark("RdxS").run(host_for("opencl", HD5870), size="small")
+        assert not r.correct and r.failure == "FL"
+
+    def test_fails_on_cpu_lanes(self):
+        from repro.arch import INTEL920
+
+        r = get_benchmark("RdxS").run(host_for("opencl", INTEL920), size="small")
+        assert not r.correct and r.failure == "FL"
+
+
+class TestData:
+    def test_layered_graph_csr_valid(self):
+        from repro.benchsuite.data import layered_graph
+
+        row, cols, n = layered_graph(4, 16)
+        assert row[0] == 0 and row[-1] == len(cols)
+        assert (np.diff(row) >= 0).all()
+        assert cols.min() >= 0 and cols.max() < n
+
+    def test_banded_csr_within_band(self):
+        from repro.benchsuite.data import banded_csr
+
+        rowptr, cols, vals = banded_csr(64, band=8, nnz_per_row=4)
+        for r in range(64):
+            cs = cols[rowptr[r] : rowptr[r + 1]]
+            assert (np.abs(cs - r) <= 8).all()
+            assert len(set(cs.tolist())) == len(cs)  # no duplicates
+
+    def test_generators_deterministic(self):
+        from repro.benchsuite.data import gray_image
+
+        assert np.array_equal(gray_image(16, 16, seed=1), gray_image(16, 16, seed=1))
+        assert not np.array_equal(
+            gray_image(16, 16, seed=1), gray_image(16, 16, seed=2)
+        )
+
+    def test_neighbor_lists_exclude_self(self):
+        from repro.benchsuite.data import neighbor_lists
+
+        nl = neighbor_lists(32, 6).reshape(32, 6)
+        for i in range(32):
+            assert i not in nl[i]

@@ -1,0 +1,86 @@
+"""Compile matrix: every benchmark kernel builds under every dialect and
+every device's build defines, and respects each device's register budget.
+
+Cheap (compile-only) but broad: this is what catches a lowering or pass
+regression that only manifests for one benchmark on one platform.
+"""
+import pytest
+
+from repro.arch import ALL_DEVICES
+from repro.benchsuite import REAL_WORLD, SYNTHETIC, get_benchmark
+from repro.compiler import compile_cuda, compile_opencl
+from repro.kir.dialect import CUDA, OPENCL
+from repro.ptx import verify
+
+ALL_NAMES = SYNTHETIC + REAL_WORLD
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_compiles_in_both_dialects_with_nvidia_defines(name):
+    bench = get_benchmark(name)
+    params = bench.sizes()["small"]
+    for dialect, comp, max_regs in (
+        (CUDA, compile_cuda, 124),
+        (OPENCL, compile_opencl, 124),
+    ):
+        opts = bench.options_for(dialect, None)
+        for kern in bench.kernels(dialect, opts, {"WARP_SIZE": 32}, params):
+            ptx = comp(kern, max_regs=max_regs)
+            verify(ptx)
+            assert ptx.resources.registers <= max_regs
+            assert ptx.static_size() > 0
+
+
+@pytest.mark.parametrize("warp_size", [4, 32, 64])
+def test_warp_size_parameterized_kernels_build(warp_size):
+    """RdxS and warp-SPMV bake WARP_SIZE at build time (Table VI)."""
+    for name, options in (("RdxS", None), ("SPMV", {"variant": "warp"})):
+        bench = get_benchmark(name)
+        opts = bench.options_for(OPENCL, options)
+        kerns = bench.kernels(
+            OPENCL, opts, {"WARP_SIZE": warp_size}, bench.sizes()["small"]
+        )
+        for kern in kerns:
+            ptx = compile_opencl(kern, max_regs=124)
+            verify(ptx)
+            assert ptx.defines == {}  # defines applied at build(), not here
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_kernels_fit_every_nvidia_device_budget(name):
+    bench = get_benchmark(name)
+    params = bench.sizes()["small"]
+    for dev in ("GTX280", "GTX480"):
+        spec = ALL_DEVICES[dev]
+        opts = bench.options_for(OPENCL, None)
+        for kern in bench.kernels(OPENCL, opts, {"WARP_SIZE": 32}, params):
+            budget = min(
+                spec.max_regs_per_thread,
+                max(16, spec.regfile_per_cu // max(kern.wg_hint, 32)),
+            )
+            ptx = compile_opencl(kern, max_regs=budget)
+            assert ptx.resources.registers <= budget, kern.name
+
+
+def test_cuda_and_opencl_kernels_share_memory_footprint():
+    """Fairness step 3: the two dialect builds of one benchmark must
+    declare identical shared memory and touch the same buffers."""
+    for name in ALL_NAMES:
+        bench = get_benchmark(name)
+        params = bench.sizes()["small"]
+        # equalize the optional optimizations so only the dialect differs
+        common = {}
+        defaults = bench.default_options
+        for key, v in defaults.items():
+            if isinstance(v, dict):
+                common[key] = v["opencl"]
+        ck = bench.kernels(
+            CUDA, bench.options_for(CUDA, common), {"WARP_SIZE": 32}, params
+        )
+        ok = bench.kernels(
+            OPENCL, bench.options_for(OPENCL, common), {"WARP_SIZE": 32}, params
+        )
+        assert [k.name for k in ck] == [k.name for k in ok], name
+        for a, b in zip(ck, ok):
+            assert a.shared_bytes() == b.shared_bytes(), name
+            assert [p.name for p in a.params] == [p.name for p in b.params], name

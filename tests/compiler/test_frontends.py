@@ -1,0 +1,202 @@
+"""Front-end behaviour: the Table V mechanisms, verified structurally."""
+import pytest
+
+from repro.compiler import (
+    assemble,
+    compile_cuda,
+    compile_opencl,
+    lower_kernel,
+    CLC_STYLE,
+    NVOPENCC_STYLE,
+)
+from repro.kir import CUDA, KernelBuilder, OPENCL, Scalar
+from repro.ptx import Op, histogram, verify
+
+
+def _addr_kernel(dialect):
+    k = KernelBuilder("addr", dialect)
+    a = k.buffer("a", Scalar.F32)
+    o = k.buffer("o", Scalar.F32)
+    i = k.let("i", k.global_id(0))
+    k.store(o, i, a[i] + a[i])
+    return k.finish()
+
+
+class TestCodegenStyles:
+    def test_dialect_guard(self):
+        with pytest.raises(ValueError, match="dialect"):
+            compile_cuda(_addr_kernel(OPENCL))
+        with pytest.raises(ValueError, match="dialect"):
+            compile_opencl(_addr_kernel(CUDA))
+
+    def test_force_overrides_guard(self):
+        compile_cuda(_addr_kernel(OPENCL), force=True)
+
+    def test_nvopencc_uses_mad_addressing(self):
+        h = histogram(compile_cuda(_addr_kernel(CUDA)))
+        assert h.get("mad", 0) >= 1
+        assert h.get("shl", 0) == 0
+
+    def test_clc_uses_shift_addressing(self):
+        h = histogram(compile_opencl(_addr_kernel(OPENCL)))
+        assert h.get("shl", 0) >= 1
+        assert h.get("mad", 0) == 0
+
+    def test_nvopencc_cse_dedups_load(self):
+        # a[i] + a[i]: CUDA CSEs the address; both load the same reg —
+        # CSE applies to the address, the loads still execute twice?
+        # Loads are impure, so both remain; but address math is shared.
+        kc = compile_cuda(_addr_kernel(CUDA))
+        ko = compile_opencl(_addr_kernel(OPENCL))
+        assert histogram(kc).get("mad", 0) < histogram(ko).get("shl", 0) + histogram(ko).get("add", 0)
+
+    def test_mov_asymmetry(self):
+        hc = histogram(compile_cuda(_addr_kernel(CUDA)))
+        ho = histogram(compile_opencl(_addr_kernel(OPENCL)))
+        assert hc.get("mov", 0) > ho.get("mov", 0)
+
+    def test_float_fusion_opcodes(self):
+        def fused(dialect):
+            k = KernelBuilder("f", dialect)
+            a = k.buffer("a", Scalar.F32)
+            o = k.buffer("o", Scalar.F32)
+            i = k.let("i", k.global_id(0))
+            k.store(o, i, a[i] * 2.0 + 1.0)
+            return k.finish()
+
+        assert histogram(compile_cuda(fused(CUDA))).get("mad", 0) >= 1
+        ho = histogram(compile_opencl(fused(OPENCL)))
+        assert ho.get("fma", 0) >= 1 and ho.get("mad", 0) == 0
+
+    def test_predication_vs_branches(self):
+        def guarded(dialect):
+            k = KernelBuilder("g", dialect)
+            o = k.buffer("o", Scalar.F32)
+            n = k.scalar("n", Scalar.S32)
+            i = k.let("i", k.global_id(0))
+            with k.if_(i < n):
+                k.store(o, i, 1.0)
+            return k.finish()
+
+        hc = histogram(compile_cuda(guarded(CUDA)))
+        ho = histogram(compile_opencl(guarded(OPENCL)))
+        assert hc.get("bra", 0) == 0  # predicated store
+        assert ho.get("bra", 0) >= 1  # real branch
+
+    def test_strength_reduction_div_pow2(self):
+        def divmod_kernel(dialect):
+            k = KernelBuilder("d", dialect)
+            o = k.buffer("o", Scalar.S32)
+            t = k.let("t", k.tid.x, Scalar.S32)
+            k.store(o, t, t / 8 + t % 8)
+            return k.finish()
+
+        hc = histogram(compile_cuda(divmod_kernel(CUDA)))
+        ho = histogram(compile_opencl(divmod_kernel(OPENCL)))
+        for h in (hc, ho):  # both front ends strength-reduce const pow2
+            assert h.get("div", 0) == 0 and h.get("rem", 0) == 0
+            assert h.get("shr", 0) >= 1 and h.get("and", 0) >= 1
+
+    def test_float_div_by_const_becomes_mul_cuda_only(self):
+        def fdiv(dialect):
+            k = KernelBuilder("fd", dialect)
+            a = k.buffer("a", Scalar.F32)
+            o = k.buffer("o", Scalar.F32)
+            i = k.let("i", k.global_id(0))
+            k.store(o, i, a[i] / 3.0)
+            return k.finish()
+
+        assert histogram(compile_cuda(fdiv(CUDA))).get("div", 0) == 0
+        assert histogram(compile_opencl(fdiv(OPENCL))).get("div", 0) == 1
+
+    def test_auto_unroll_cuda_only(self):
+        def loop(dialect):
+            k = KernelBuilder("l", dialect)
+            o = k.buffer("o", Scalar.F32)
+            acc = k.let("acc", 0.0, Scalar.F32)
+            with k.for_("j", 0, 8) as j:
+                k.assign(acc, acc + 1.0)
+            k.store(o, k.global_id(0), acc)
+            return k.finish()
+
+        hc = histogram(compile_cuda(loop(CUDA)))
+        ho = histogram(compile_opencl(loop(OPENCL)))
+        assert hc.get("bra", 0) == 0  # fully unrolled
+        assert ho.get("bra", 0) >= 2  # loop retained
+
+    def test_verify_passes_on_output(self):
+        for build, comp in (
+            (_addr_kernel(CUDA), compile_cuda),
+            (_addr_kernel(OPENCL), compile_opencl),
+        ):
+            verify(comp(build))
+
+
+class TestPtxas:
+    def test_spill_when_budget_tiny(self):
+        k = KernelBuilder("s", CUDA)
+        a = k.buffer("a", Scalar.F32)
+        o = k.buffer("o", Scalar.F32)
+        gid = k.let("gid", k.global_id(0))
+        # data-dependent values: constant folding cannot collapse them
+        vals = [k.let(f"v{j}", a[gid + j]) for j in range(24)]
+        total = vals[0]
+        for v in vals[1:]:
+            total = total + v
+        k.store(o, gid, total)
+        ptx = compile_cuda(k.finish(), max_regs=12)
+        assert ptx.resources.spill_bytes > 0
+        assert ptx.resources.registers <= 12
+        h = histogram(ptx)
+        assert h.get("ld.local", 0) > 0 and h.get("st.local", 0) > 0
+
+    def test_no_spill_with_room(self):
+        ptx = compile_cuda(_addr_kernel(CUDA), max_regs=124)
+        assert ptx.resources.spill_bytes == 0
+
+    def test_spilled_kernel_still_correct(self):
+        import numpy as np
+
+        from repro.arch import GTX280
+        from repro.kir import eval_kernel
+        from repro.sim import SimDevice
+
+        k = KernelBuilder("s", CUDA)
+        a = k.buffer("a", Scalar.F32)
+        o = k.buffer("o", Scalar.F32)
+        gid = k.let("gid", k.global_id(0))
+        vals = [k.let(f"v{j}", a[gid + j]) for j in range(24)]
+        total = vals[0]
+        for v in vals[1:]:
+            total = total + v
+        k.store(o, gid, total)
+        kern = k.finish()
+        ptx = compile_cuda(kern, max_regs=10)
+        assert ptx.resources.spill_bytes > 0
+        dev = SimDevice(GTX280)
+        A = np.linspace(0, 1, 64).astype(np.float32)
+        pa = dev.alloc(A.nbytes)
+        dev.upload(pa, A)
+        p = dev.alloc(32 * 4)
+        dev.launch(ptx, 1, 32, {"a": pa, "o": p})
+        got, _ = dev.download(p, 32, Scalar.F32)
+        ref = np.zeros(32, dtype=np.float32)
+        eval_kernel(kern, 1, 32, {"a": A.copy(), "o": ref})
+        assert np.allclose(got, ref)
+
+    def test_shared_bytes_reported(self):
+        k = KernelBuilder("sh", CUDA)
+        o = k.buffer("o", Scalar.F32)
+        sh = k.shared("tile", Scalar.F32, 100)
+        k.store(sh, k.tid.x, 0.0)
+        k.barrier()
+        k.store(o, k.tid.x, sh[k.tid.x])
+        ptx = compile_cuda(k.finish())
+        assert ptx.resources.shared_bytes == 400
+
+    def test_texture_flag_reported(self):
+        k = KernelBuilder("t", CUDA)
+        a = k.buffer("a", Scalar.F32)
+        o = k.buffer("o", Scalar.F32)
+        k.store(o, k.tid.x, k.texload(a, k.tid.x))
+        assert compile_cuda(k.finish()).resources.uses_texture

@@ -1,0 +1,136 @@
+"""Regression tests for the lowering engine's CSE-memo scoping.
+
+These pin down the subtle cases: memoized values must not be reused
+when a loop mutates their inputs, when a divergent branch computed them
+under a partial mask, or after a variable they mention is reassigned.
+All are verified semantically through compile -> simulate vs. the
+reference evaluator, because a stale-memo bug produces wrong *values*.
+"""
+import numpy as np
+
+from repro.arch import GTX480
+from repro.compiler import compile_cuda
+from repro.kir import CUDA, KernelBuilder, Scalar, eval_kernel
+from repro.sim import SimDevice
+
+
+def _run(kern, arrays, grid=1, block=32):
+    ptx = compile_cuda(kern, max_regs=63)
+    dev = SimDevice(GTX480)
+    args = {}
+    for name, arr in arrays.items():
+        p = dev.alloc(arr.nbytes)
+        dev.upload(p, arr)
+        args[name] = p
+    dev.launch(ptx, grid, block, args)
+    out = {}
+    from repro.kir.types import Scalar as S
+
+    for name, arr in arrays.items():
+        sc = {np.dtype(np.int32): S.S32, np.dtype(np.float32): S.F32}[arr.dtype]
+        out[name], _ = dev.download(args[name], arr.size, sc)
+    oracle = {k: v.copy() for k, v in arrays.items()}
+    eval_kernel(kern, grid, block, oracle)
+    for name in arrays:
+        np.testing.assert_allclose(out[name], oracle[name], rtol=1e-5)
+
+
+def test_memo_not_reused_across_loop_carried_mutation():
+    """x*2 memoized before the loop must be recomputed inside it."""
+    k = KernelBuilder("m1", CUDA)
+    o = k.buffer("o", Scalar.S32)
+    n = k.scalar("n", Scalar.S32)  # defeat auto-unroll/const-prop
+    x = k.let("x", 5)
+    pre = k.let("pre", x * 2)  # memoizes (x*2)
+    acc = k.let("acc", 0)
+    with k.for_("i", 0, n) as i:
+        k.assign(acc, acc + x * 2)  # must track the mutating x
+        k.assign(x, x + 1)
+    k.store(o, k.tid.x, acc + pre)
+    kern = k.finish()
+    ptx = compile_cuda(kern, max_regs=63)
+    dev = SimDevice(GTX480)
+    p = dev.alloc(128)
+    dev.launch(ptx, 1, 32, {"o": p, "n": np.int32(3)})
+    got, _ = dev.download(p, 32, Scalar.S32)
+    ref = np.zeros(32, dtype=np.int32)
+    eval_kernel(kern, 1, 32, {"o": ref, "n": 3})
+    np.testing.assert_array_equal(got, ref)  # acc = 10+12+14, pre = 10
+
+
+def test_memo_from_divergent_branch_not_reused_after_reconvergence():
+    k = KernelBuilder("m2", CUDA)
+    a = k.buffer("a", Scalar.S32)
+    o = k.buffer("o", Scalar.S32)
+    t = k.let("t", k.tid.x, Scalar.S32)
+    v = k.let("v", a[t])
+    u = k.let("u", 0)
+    with k.if_(t < 16):
+        # v*7 computed under a partial mask inside the branch; the Lets
+        # here are branch-local and must not leak stale lanes
+        k.assign(u, v * 7 + 1)
+    k.store(o, t, u + v * 7)  # full-mask recomputation must be fresh
+    A = np.arange(32, dtype=np.int32)
+    _run(k.finish(), {"a": A, "o": np.zeros(32, dtype=np.int32)})
+
+
+def test_memo_invalidated_by_assignment_between_uses():
+    k = KernelBuilder("m3", CUDA)
+    o = k.buffer("o", Scalar.S32)
+    n = k.scalar("n", Scalar.S32)
+    x = k.let("x", 0, Scalar.S32)
+    k.assign(x, n)  # runtime value, defeats const-prop
+    first = k.let("first", x * 3)
+    k.assign(x, x + 1)
+    second = k.let("second", x * 3)  # must differ from `first`
+    k.store(o, k.tid.x, second - first)
+    kern = k.finish()
+    ptx = compile_cuda(kern, max_regs=63)
+    dev = SimDevice(GTX480)
+    p = dev.alloc(128)
+    dev.launch(ptx, 1, 32, {"o": p, "n": np.int32(10)})
+    got, _ = dev.download(p, 32, Scalar.S32)
+    assert (got == 3).all()
+
+
+def test_address_cse_does_not_merge_different_buffers():
+    k = KernelBuilder("m4", CUDA)
+    a = k.buffer("a", Scalar.S32)
+    b = k.buffer("b", Scalar.S32)
+    o = k.buffer("o", Scalar.S32)
+    t = k.let("t", k.tid.x, Scalar.S32)
+    k.store(o, t, a[t] - b[t])  # same index, different base
+    A = np.arange(32, dtype=np.int32) * 2
+    B = np.arange(32, dtype=np.int32)
+    _run(k.finish(), {"a": A, "b": B, "o": np.zeros(32, dtype=np.int32)})
+
+
+def test_predicated_let_keeps_inactive_lanes():
+    k = KernelBuilder("m5", CUDA)
+    o = k.buffer("o", Scalar.S32)
+    t = k.let("t", k.tid.x, Scalar.S32)
+    v = k.let("v", 100)
+    with k.if_(t < 4):  # small body -> NVOPENCC predicates it
+        k.assign(v, t)
+    k.store(o, t, v)
+    kern = k.finish()
+    ptx = compile_cuda(kern, max_regs=63)
+    # confirm it actually predicated (no branch emitted)
+    from repro.ptx import histogram
+
+    assert histogram(ptx).get("bra", 0) == 0
+    _run(kern, {"o": np.zeros(32, dtype=np.int32)})
+
+
+def test_dce_removes_dead_let_but_not_stores():
+    from repro.ptx import histogram
+
+    k = KernelBuilder("m6", CUDA)
+    a = k.buffer("a", Scalar.F32)
+    o = k.buffer("o", Scalar.F32)
+    t = k.let("t", k.tid.x, Scalar.S32)
+    dead = k.let("dead", a[t] * 123.0)  # never used
+    k.store(o, t, 1.0)
+    h = histogram(compile_cuda(k.finish()))
+    assert h.get("ld.global", 0) == 0  # dead load eliminated
+    assert h.get("st.global", 0) == 1

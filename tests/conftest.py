@@ -1,0 +1,20 @@
+"""Shared fixtures for the test suite."""
+import numpy as np
+import pytest
+
+from repro.arch import CELLBE, GTX280, GTX480, HD5870, INTEL920
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(params=["GTX280", "GTX480"], ids=["gt200", "fermi"])
+def nvidia_spec(request):
+    return {"GTX280": GTX280, "GTX480": GTX480}[request.param]
+
+
+@pytest.fixture(params=["cuda", "opencl"])
+def api_name(request):
+    return request.param

@@ -1,0 +1,45 @@
+import pytest
+
+
+def test_benchsuite_cli_runs(capsys):
+    from repro.benchsuite.__main__ import main
+
+    rc = main(["TranP", "--device", "GTX480", "--api", "both", "--size", "small"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "TranP" in out and "cuda" in out and "opencl" in out
+
+
+def test_benchsuite_cli_downgrades_cuda_on_amd(capsys):
+    from repro.benchsuite.__main__ import main
+
+    rc = main(["TranP", "--device", "HD5870", "--api", "both", "--size", "small"])
+    out = capsys.readouterr().out
+    assert "OpenCL only" in out
+    assert rc == 0
+
+
+def test_benchsuite_cli_reports_failures(capsys):
+    from repro.benchsuite.__main__ import main
+
+    rc = main(["RdxS", "--device", "HD5870", "--api", "opencl", "--size", "small"])
+    out = capsys.readouterr().out
+    assert "FL" in out
+    assert rc == 1
+
+
+def test_experiments_cli_main(capsys):
+    from repro.experiments.runner import main
+
+    rc = main(["table5", "--size", "small"])
+    out = capsys.readouterr().out
+    assert rc == 0 and "table5" in out
+
+
+def test_paperdoc_generates_markdown(tmp_path):
+    from repro.experiments.paperdoc import generate
+
+    text = generate(size="small", names=["table5"])
+    assert "# EXPERIMENTS" in text
+    assert "table5" in text
+    assert "| shape check | paper | measured | holds |" in text

@@ -1,0 +1,51 @@
+import math
+
+from repro.experiments.report import ExperimentResult, fmt
+
+
+class TestFmt:
+    def test_none(self):
+        assert fmt(None) == "-"
+
+    def test_nan(self):
+        assert fmt(float("nan")) == "n/a"
+
+    def test_small_float_scientific(self):
+        assert "e" in fmt(1.5e-7) or "E" in fmt(1.5e-7)
+
+    def test_plain_float(self):
+        assert fmt(3.14159, nd=2) == "3.14"
+
+    def test_string_passthrough(self):
+        assert fmt("ABT") == "ABT"
+
+
+class TestExperimentResult:
+    def _res(self):
+        r = ExperimentResult("figX", "demo", ["a", "b"], [])
+        r.add(a=1.0, b="x")
+        r.add(a=2.5, b="y")
+        return r
+
+    def test_render_contains_rows_and_title(self):
+        text = self._res().render()
+        assert "figX: demo" in text
+        assert "2.500" in text and "y" in text
+
+    def test_checks_render_pass_and_miss(self):
+        r = self._res()
+        r.check("good", "1", "1", True)
+        r.check("bad", "1", "2", False)
+        text = r.render()
+        assert "[PASS] good" in text
+        assert "[MISS] bad" in text
+
+    def test_notes_appended(self):
+        r = self._res()
+        r.notes.append("hello note")
+        assert "note: hello note" in r.render()
+
+    def test_missing_column_renders_dash(self):
+        r = ExperimentResult("f", "t", ["a", "b"], [])
+        r.add(a=1)
+        assert "-" in r.render()

@@ -1,0 +1,177 @@
+"""Cross-layer integration tests: the paper's effects, end to end."""
+import numpy as np
+import pytest
+
+from repro.arch import CELLBE, GTX280, GTX480, HD5870, INTEL920
+from repro.benchsuite import get_benchmark, host_for
+from repro.core import compare
+
+
+class TestTextureEffect:
+    """Fig. 4/5 mechanics at test scale."""
+
+    def test_texture_helps_cuda_md_on_gt200(self):
+        b = get_benchmark("MD")
+        w = b.run(host_for("cuda", GTX280), size="small", options={"use_texture": True})
+        wo = b.run(host_for("cuda", GTX280), size="small", options={"use_texture": False})
+        assert w.value > wo.value
+
+    def test_removing_texture_closes_pr_gap(self):
+        before = compare("MD", GTX280, size="small")
+        after = compare("MD", GTX280, size="small", cuda_options={"use_texture": False})
+        assert abs(1 - after.pr.pr) < abs(1 - before.pr.pr)
+
+
+class TestConstantMemoryEffect:
+    """Fig. 8 mechanics: GT200 has no global cache, Fermi does."""
+
+    def test_constant_memory_big_win_on_gt200_only(self):
+        b = get_benchmark("Sobel")
+        speedups = {}
+        for spec in (GTX280, GTX480):
+            w = b.run(host_for("cuda", spec), size="small", options={"use_constant": True})
+            wo = b.run(host_for("cuda", spec), size="small", options={"use_constant": False})
+            speedups[spec.name] = wo.kernel_seconds / w.kernel_seconds
+        assert speedups["GTX280"] > 1.3
+        assert speedups["GTX280"] > speedups["GTX480"] + 0.2
+
+    def test_sobel_pr_flips_between_generations(self):
+        pr280 = compare("Sobel", GTX280, size="small").pr.pr
+        pr480 = compare("Sobel", GTX480, size="small").pr.pr
+        assert pr280 > 1.3  # OpenCL (constant memory) much faster
+        assert pr480 < 1.25  # Fermi cache levels it
+
+
+class TestCompilerEffect:
+    """Table V / FFT mechanics."""
+
+    def test_fft_cuda_advantage_from_front_end(self):
+        out = compare("FFT", GTX480, size="small")
+        assert out.pr.pr < 0.8
+
+    def test_fft_instruction_mix_shape(self):
+        from repro.experiments.table5_ptx import compiled_pair
+        from repro.ptx import IClass, class_totals, histogram
+
+        kc, ko = compiled_pair()
+        tc, to = class_totals(histogram(kc)), class_totals(histogram(ko))
+        assert to[IClass.ARITHMETIC] > tc[IClass.ARITHMETIC]
+        assert to[IClass.LOGIC] > tc[IClass.LOGIC]
+        assert tc[IClass.DATA] > to[IClass.DATA]
+
+
+class TestLaunchOverheadEffect:
+    """§IV-B.4: BFS loses through enqueue latency, not kernels."""
+
+    def test_bfs_kernel_time_close_but_wall_time_apart(self):
+        b = get_benchmark("BFS")
+        cu = b.run(host_for("cuda", GTX480), size="small")
+        cl = b.run(host_for("opencl", GTX480), size="small")
+        kernel_ratio = cl.kernel_seconds / cu.kernel_seconds
+        wall_ratio = cl.wall_seconds / cu.wall_seconds
+        assert wall_ratio > kernel_ratio  # overhead, not device work
+
+
+class TestUnrollEffect:
+    def test_pragma_a_helps_cuda(self):
+        b = get_benchmark("FDTD")
+        w = b.run(host_for("cuda", GTX480), size="small", options={"unroll_a": 9})
+        wo = b.run(host_for("cuda", GTX480), size="small", options={"unroll_a": None})
+        assert w.value > wo.value
+
+    def test_pragma_a_collapses_opencl(self):
+        b = get_benchmark("FDTD")
+        w = b.run(host_for("opencl", GTX280), size="small", options={"unroll_a": 9})
+        wo = b.run(host_for("opencl", GTX280), size="small", options={"unroll_a": None})
+        assert w.value < wo.value  # spills: the Fig. 7 collapse
+        assert w.correct  # slow, but still correct
+
+
+class TestPortability:
+    """Table VI behaviours at test scale."""
+
+    def test_cell_aborts_exactly_the_papers_four(self):
+        abt = set()
+        for name in ("FFT", "DXTC", "RdxS", "STNW", "Scan", "MxM", "TranP"):
+            r = get_benchmark(name).run(host_for("opencl", CELLBE), size="small")
+            if r.failure == "ABT":
+                abt.add(name)
+        assert abt == {"FFT", "DXTC", "RdxS", "STNW"}
+
+    def test_everything_runs_on_hd5870_except_rdxs(self):
+        for name in ("Sobel", "TranP", "Scan", "MxM"):
+            r = get_benchmark(name).run(host_for("opencl", HD5870), size="small")
+            assert r.ok(), name
+        r = get_benchmark("RdxS").run(host_for("opencl", HD5870), size="small")
+        assert r.failure == "FL"
+
+    def test_tranp_local_memory_hurts_on_cpu(self):
+        b = get_benchmark("TranP")
+        w = b.run(host_for("opencl", INTEL920), size="small", options={"use_local": True})
+        wo = b.run(host_for("opencl", INTEL920), size="small", options={"use_local": False})
+        assert wo.value > w.value  # staging is pure overhead on a CPU
+
+    def test_warp_variant_spmv_slower_on_cpu(self):
+        b = get_benchmark("SPMV")
+        scalar = b.run(host_for("opencl", INTEL920), size="small")
+        warp = b.run(
+            host_for("opencl", INTEL920), size="small", options={"variant": "warp"}
+        )
+        assert warp.correct
+        assert warp.value < scalar.value  # the paper's 3.805 -> 0.125 story
+
+    def test_device_performance_ordering(self):
+        # paper Table VI: on MD the GPU leads, the CPU follows, Cell trails
+        vals = {}
+        for spec in (GTX480, INTEL920, CELLBE):
+            vals[spec.name] = get_benchmark("MD").run(
+                host_for("opencl", spec), size="small"
+            ).value
+        assert vals["GTX480"] > vals["Intel920"] > vals["Cell/BE"]
+
+
+class TestDeterminism:
+    def test_full_comparison_reproducible(self):
+        a = compare("Reduce", GTX480, size="small").pr.pr
+        b = compare("Reduce", GTX480, size="small").pr.pr
+        assert a == b
+
+
+class TestExperimentHarness:
+    def test_runner_lists_all_figures_and_tables(self):
+        from repro.experiments import EXPERIMENTS
+
+        assert set(EXPERIMENTS) == {
+            "fig1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "table5",
+            "table6",
+        }
+
+    def test_table5_runs_and_renders(self):
+        from repro.experiments.runner import run_experiment
+
+        res = run_experiment("table5", size="small")
+        text = res.render()
+        assert "CUDA" in text and "OpenCL" in text
+        assert all(c["holds"] for c in res.checks), [
+            c for c in res.checks if not c["holds"]
+        ]
+
+    def test_fig1_small_runs(self):
+        from repro.experiments.runner import run_experiment
+
+        res = run_experiment("fig1", size="small")
+        assert len(res.rows) == 2
+
+    def test_unknown_experiment_rejected(self):
+        from repro.experiments.runner import run_experiment
+
+        with pytest.raises(SystemExit):
+            run_experiment("fig99")

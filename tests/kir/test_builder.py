@@ -1,0 +1,148 @@
+import pytest
+
+from repro.kir import (
+    AddrSpace,
+    Barrier,
+    CUDA,
+    For,
+    If,
+    KernelBuilder,
+    KernelValidationError,
+    Let,
+    OPENCL,
+    Scalar,
+    Store,
+    UNROLL_FULL,
+)
+
+
+def test_simple_kernel_shape():
+    k = KernelBuilder("k", CUDA)
+    a = k.buffer("a", Scalar.F32)
+    n = k.scalar("n", Scalar.S32)
+    i = k.let("i", k.global_id(0))
+    with k.if_(i < n):
+        k.store(a, i, 1.0)
+    kern = k.finish()
+    assert kern.name == "k"
+    assert kern.dialect == "cuda"
+    assert [type(s) for s in kern.body] == [Let, If]
+    assert len(kern.params) == 2
+
+
+def test_duplicate_names_rejected():
+    k = KernelBuilder("k", CUDA)
+    k.buffer("a", Scalar.F32)
+    with pytest.raises(ValueError, match="duplicate"):
+        k.scalar("a")
+
+
+def test_shared_declaration_and_bytes():
+    k = KernelBuilder("k", CUDA)
+    sh = k.shared("tile", Scalar.F32, 17 * 16)
+    out = k.buffer("o", Scalar.F32)
+    k.store(sh, k.tid.x, 0.0)
+    k.barrier()
+    k.store(out, k.tid.x, sh[k.tid.x])
+    kern = k.finish()
+    assert kern.shared_bytes() == 17 * 16 * 4
+    assert sh.space is AddrSpace.SHARED
+
+
+def test_texture_rejected_in_opencl():
+    k = KernelBuilder("k", OPENCL)
+    a = k.buffer("a", Scalar.F32)
+    with pytest.raises(TypeError, match="texture"):
+        k.texload(a, 0)
+
+
+def test_texture_allowed_in_cuda():
+    k = KernelBuilder("k", CUDA)
+    a = k.buffer("a", Scalar.F32)
+    o = k.buffer("o", Scalar.F32)
+    k.store(o, k.tid.x, k.texload(a, k.tid.x))
+    assert k.finish().uses_texture()
+
+
+def test_for_loop_records_unroll_pragma():
+    k = KernelBuilder("k", CUDA)
+    o = k.buffer("o", Scalar.F32)
+    with k.for_("i", 0, 8, unroll=k.unroll(point="a")) as i:
+        k.store(o, i, 0.0)
+    kern = k.finish()
+    loop = kern.body[0]
+    assert isinstance(loop, For)
+    assert loop.unroll.factor == UNROLL_FULL
+    assert loop.unroll.point == "a"
+
+
+def test_unbalanced_context_rejected():
+    k = KernelBuilder("k", CUDA)
+    k._stack.append([])  # simulate an unclosed with-block
+    with pytest.raises(RuntimeError, match="unbalanced"):
+        k.finish()
+
+
+def test_global_id_expansion_matches_both_dialects():
+    for d in (CUDA, OPENCL):
+        k = KernelBuilder("k", d)
+        e = k.global_id(1)
+        # ctaid.y * ntid.y + tid.y regardless of dialect
+        assert e.key()[0] == "bin" and e.op == "add"
+
+
+def test_barrier_inside_divergent_if_rejected():
+    k = KernelBuilder("k", CUDA)
+    o = k.buffer("o", Scalar.F32)
+    with k.if_(k.tid.x < 1):
+        k.barrier()
+        k.store(o, 0, 1.0)
+    with pytest.raises(KernelValidationError, match="barrier"):
+        k.finish()
+
+
+def test_store_to_const_buffer_rejected():
+    k = KernelBuilder("k", CUDA)
+    c = k.buffer("c", Scalar.F32, AddrSpace.CONST)
+    k.store(c, 0, 1.0)
+    with pytest.raises(KernelValidationError, match="read-only"):
+        k.finish()
+
+
+def test_fresh_generates_unique_names():
+    k = KernelBuilder("k", CUDA)
+    v1 = k.fresh(1)
+    v2 = k.fresh(2)
+    assert v1.name != v2.name
+
+
+def test_math_helpers_build_unops():
+    k = KernelBuilder("k", CUDA)
+    assert k.sqrt(1.0).op == "sqrt"
+    assert k.rsqrt(1.0).op == "rsqrt"
+    assert k.sin(1.0).op == "sin"
+    assert k.cos(1.0).op == "cos"
+    assert k.exp(1.0).op == "exp"
+    assert k.abs(-1.0).op == "abs"
+    assert k.floor(1.5).op == "floor"
+    assert k.f2i(1.5).op == "f2i"
+    assert k.i2f(1).op == "i2f"
+    assert k.f2u(1.0).op == "f2u"
+
+
+def test_min_max_helpers():
+    k = KernelBuilder("k", CUDA)
+    x = k.let("x", 3)
+    assert k.min(x, 5).op == "min"
+    assert k.max(0, x).op == "max"
+
+
+def test_while_loop():
+    k = KernelBuilder("k", OPENCL)
+    o = k.buffer("o", Scalar.S32)
+    j = k.let("j", 0)
+    with k.while_(j < 4):
+        k.store(o, j, j)
+        k.assign(j, j + 1)
+    kern = k.finish()
+    assert kern.body[1].__class__.__name__ == "While"

@@ -1,0 +1,119 @@
+import numpy as np
+import pytest
+
+from repro.kir import CUDA, KernelBuilder, OPENCL, Scalar, eval_kernel
+
+
+def test_vecadd():
+    k = KernelBuilder("v", CUDA)
+    a = k.buffer("a", Scalar.F32)
+    b = k.buffer("b", Scalar.F32)
+    c = k.buffer("c", Scalar.F32)
+    i = k.let("i", k.global_id(0))
+    k.store(c, i, a[i] + b[i])
+    kern = k.finish()
+    A = np.arange(16, dtype=np.float32)
+    B = np.ones(16, dtype=np.float32)
+    C = np.zeros(16, dtype=np.float32)
+    eval_kernel(kern, 2, 8, {"a": A, "b": B, "c": C})
+    assert np.allclose(C, A + B)
+
+
+def test_barrier_shared_cooperation():
+    k = KernelBuilder("r", OPENCL)
+    x = k.buffer("x", Scalar.S32)
+    y = k.buffer("y", Scalar.S32)
+    sh = k.shared("sh", Scalar.S32, 8)
+    t = k.let("t", k.tid.x)
+    k.store(sh, t, x[k.global_id(0)])
+    k.barrier()
+    k.store(y, k.global_id(0), sh[7 - t])
+    kern = k.finish()
+    X = np.arange(8, dtype=np.int32)
+    Y = np.zeros(8, dtype=np.int32)
+    eval_kernel(kern, 1, 8, {"x": X, "y": Y})
+    assert (Y == X[::-1]).all()
+
+
+def test_divergent_if_else():
+    k = KernelBuilder("d", CUDA)
+    o = k.buffer("o", Scalar.S32)
+    t = k.let("t", k.tid.x, Scalar.S32)
+    v = k.let("v", 0)
+    with k.if_else((t & 1).eq(0)) as orelse:
+        k.assign(v, 10)
+    # populate the else branch through collect
+    kern = None
+    # simpler: use emit_if
+    k2 = KernelBuilder("d2", CUDA)
+    o2 = k2.buffer("o", Scalar.S32)
+    t2 = k2.let("t", k2.tid.x, Scalar.S32)
+    v2 = k2.let("v", 0)
+    with k2.collect() as then:
+        k2.assign(v2, 10)
+    with k2.collect() as els:
+        k2.assign(v2, 20)
+    k2.emit_if((t2 & 1).eq(0), then, els)
+    k2.store(o2, t2, v2)
+    kern = k2.finish()
+    O = np.zeros(8, dtype=np.int32)
+    eval_kernel(kern, 1, 8, {"o": O})
+    assert (O == np.where(np.arange(8) % 2 == 0, 10, 20)).all()
+
+
+def test_loop_with_dynamic_bounds():
+    k = KernelBuilder("l", CUDA)
+    rp = k.buffer("rp", Scalar.S32)
+    o = k.buffer("o", Scalar.S32)
+    t = k.let("t", k.tid.x, Scalar.S32)
+    acc = k.let("acc", 0)
+    with k.for_("j", rp[t], rp[t + 1]) as j:
+        k.assign(acc, acc + j)
+    k.store(o, t, acc)
+    kern = k.finish()
+    RP = np.array([0, 2, 5, 9, 9], dtype=np.int32)
+    O = np.zeros(4, dtype=np.int32)
+    eval_kernel(kern, 1, 4, {"rp": RP, "o": O})
+    assert O.tolist() == [0 + 1, 2 + 3 + 4, 5 + 6 + 7 + 8, 0]
+
+
+def test_integer_wraparound_u32():
+    k = KernelBuilder("w", CUDA)
+    o = k.buffer("o", Scalar.U32)
+    t = k.let("t", k.tid.x)  # u32
+    k.store(o, t, t - 1)
+    kern = k.finish()
+    O = np.zeros(2, dtype=np.uint32)
+    eval_kernel(kern, 1, 2, {"o": O})
+    assert O[0] == np.uint32(0xFFFFFFFF)
+    assert O[1] == 0
+
+
+def test_divergent_barrier_detected():
+    # construct manually since the validator refuses to build this
+    from repro.kir.stmt import Barrier, If, Kernel, Store
+    from repro.kir.expr import BufferRef, Const, SpecialReg, SReg
+
+    buf = BufferRef("o", Scalar.S32)
+    t = SpecialReg(SReg.TID_X)
+    bad = Kernel(
+        "bad",
+        [buf],
+        [If(t < Const(1, Scalar.U32), (Barrier(),), ())],
+        dialect="cuda",
+    )
+    with pytest.raises(RuntimeError, match="divergent barrier"):
+        eval_kernel(bad, 1, 4, {"o": np.zeros(4, dtype=np.int32)})
+
+
+def test_math_functions_match_numpy():
+    k = KernelBuilder("m", CUDA)
+    x = k.buffer("x", Scalar.F32)
+    o = k.buffer("o", Scalar.F32)
+    t = k.let("t", k.tid.x, Scalar.S32)
+    k.store(o, t, k.sqrt(x[t]) + k.sin(x[t]) * k.cos(x[t]))
+    kern = k.finish()
+    X = np.linspace(0.1, 3.0, 8).astype(np.float32)
+    O = np.zeros(8, dtype=np.float32)
+    eval_kernel(kern, 1, 8, {"x": X, "o": O})
+    assert np.allclose(O, np.sqrt(X) + np.sin(X) * np.cos(X), rtol=1e-5)

@@ -1,0 +1,138 @@
+import pytest
+
+from repro.kir import AddrSpace, BufferRef, Scalar
+from repro.kir.expr import (
+    BinOp,
+    Const,
+    Load,
+    Select,
+    SpecialReg,
+    SReg,
+    UnOp,
+    Var,
+    as_expr,
+)
+
+
+@pytest.fixture
+def x():
+    return Var("x", Scalar.S32)
+
+
+@pytest.fixture
+def f():
+    return Var("f", Scalar.F32)
+
+
+class TestOperatorSugar:
+    def test_add_builds_binop(self, x):
+        e = x + 1
+        assert isinstance(e, BinOp) and e.op == "add"
+        assert isinstance(e.b, Const) and e.b.value == 1
+
+    def test_radd_swaps_operands(self, x):
+        e = 1 + x
+        assert e.op == "add" and isinstance(e.a, Const)
+
+    def test_literal_adopts_operand_int_type(self):
+        u = Var("u", Scalar.U32)
+        e = u + 1
+        assert e.b.dtype is Scalar.U32
+
+    def test_float_literal_f32(self, f):
+        e = f * 2.0
+        assert e.b.dtype is Scalar.F32
+
+    def test_float_literal_widens_to_f64(self):
+        d = Var("d", Scalar.F64)
+        e = d * 2.0
+        assert e.b.dtype is Scalar.F64
+
+    def test_comparison_yields_pred(self, x):
+        assert (x < 5).dtype is Scalar.PRED
+        assert (x >= 5).dtype is Scalar.PRED
+        assert x.eq(5).dtype is Scalar.PRED
+        assert x.ne(5).dtype is Scalar.PRED
+
+    def test_shift_and_mask(self, x):
+        assert (x >> 2).op == "shr"
+        assert (x << 2).op == "shl"
+        assert (x & 3).op == "and"
+        assert (16 >> x).op == "shr" and isinstance((16 >> x).a, Const)
+
+    def test_logic_requires_integer(self, f):
+        with pytest.raises(TypeError):
+            f & 3
+
+    def test_mod_and_div(self, x):
+        assert (x % 4).op == "rem"
+        assert (x / 4).op == "div"
+        assert (x // 4).op == "div"
+
+    def test_neg(self, x):
+        e = -x
+        assert isinstance(e, UnOp) and e.op == "neg"
+
+    def test_logical_combinators(self, x):
+        e = (x < 3).logical_and(x > 0)
+        assert e.op == "land" and e.dtype is Scalar.PRED
+
+
+class TestStructuralKeys:
+    def test_equal_structure_same_key(self, x):
+        assert (x + 1).key() == (x + 1).key()
+
+    def test_different_structure_different_key(self, x):
+        assert (x + 1).key() != (x + 2).key()
+        assert (x + 1).key() != (x - 1).key()
+
+    def test_load_key_includes_texture_flag(self):
+        b = BufferRef("b", Scalar.F32)
+        i = Var("i", Scalar.S32)
+        plain = Load(b, i)
+        tex = Load(b, i, via_texture=True)
+        assert plain.key() != tex.key()
+
+
+class TestNodes:
+    def test_unknown_binop_rejected(self, x):
+        with pytest.raises(ValueError):
+            BinOp("bogus", x, x)
+
+    def test_unknown_unop_rejected(self, x):
+        with pytest.raises(ValueError):
+            UnOp("bogus", x)
+
+    def test_select_needs_predicate(self, x):
+        with pytest.raises(TypeError):
+            Select(x, x, x)
+
+    def test_select_type_from_branch(self, x):
+        s = Select(x < 1, x, Const(0, Scalar.S32))
+        assert s.dtype is Scalar.S32
+
+    def test_buffer_getitem_builds_load(self):
+        b = BufferRef("data", Scalar.F32)
+        l = b[Var("i", Scalar.S32)]
+        assert isinstance(l, Load) and l.dtype is Scalar.F32
+
+    def test_buffer_index_literal_coerced(self):
+        b = BufferRef("data", Scalar.F32)
+        l = b[3]
+        assert isinstance(l.index, Const)
+
+    def test_sreg_is_u32(self):
+        assert SpecialReg(SReg.TID_X).dtype is Scalar.U32
+
+    def test_cvt_result_types(self, f, x):
+        assert UnOp("f2i", f).dtype is Scalar.S32
+        assert UnOp("i2f", x).dtype is Scalar.F32
+        assert UnOp("f2u", f).dtype is Scalar.U32
+
+    def test_as_expr_rejects_junk(self):
+        with pytest.raises(TypeError):
+            as_expr(object())
+
+    def test_as_expr_bool(self):
+        c = as_expr(True)
+        assert c.dtype is Scalar.PRED and c.value is True

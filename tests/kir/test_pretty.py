@@ -1,0 +1,91 @@
+from repro.kir import CUDA, KernelBuilder, OPENCL, Scalar, render
+from repro.kir.types import AddrSpace
+
+
+def _sample(dialect):
+    k = KernelBuilder("sample", dialect)
+    a = k.buffer("a", Scalar.F32)
+    c = k.buffer("filt", Scalar.F32, AddrSpace.CONST)
+    o = k.buffer("o", Scalar.F32)
+    sh = k.shared("tile", Scalar.F32, 16)
+    n = k.scalar("n", Scalar.S32)
+    i = k.let("i", k.global_id(0))
+    with k.if_(i < n):
+        k.store(sh, k.tid.x, a[i] * c[0])
+    k.barrier()
+    k.store(o, i, sh[k.tid.x])
+    return k.finish()
+
+
+def test_cuda_spellings():
+    src = render(_sample(CUDA))
+    assert "__global__ void sample" in src
+    assert "threadIdx.x" in src
+    assert "blockIdx.x" in src
+    assert "__syncthreads()" in src
+    assert "__shared__ float tile[16];" in src
+    assert "__constant__ float* filt" in src
+
+
+def test_opencl_spellings():
+    src = render(_sample(OPENCL))
+    assert "__kernel void sample" in src
+    assert "get_local_id(0)" in src
+    assert "get_group_id(0)" in src
+    assert "barrier(CLK_LOCAL_MEM_FENCE)" in src
+    assert "__local float tile[16];" in src
+    assert "__global float* a" in src
+
+
+def test_dialect_neutral_structure_identical():
+    """The fairness argument: same AST -> same algorithm, only spellings
+    differ.  Normalizing the spellings must yield identical text."""
+    cu = render(_sample(CUDA))
+    cl = render(_sample(OPENCL))
+    subst = [
+        ("__global__ void", "KERNEL"),
+        ("__kernel void", "KERNEL"),
+        ("threadIdx.x", "TID0"),
+        ("get_local_id(0)", "TID0"),
+        ("blockIdx.x", "CTA0"),
+        ("get_group_id(0)", "CTA0"),
+        ("blockDim.x", "NTID0"),
+        ("get_local_size(0)", "NTID0"),
+        ("__syncthreads()", "BAR"),
+        ("barrier(CLK_LOCAL_MEM_FENCE)", "BAR"),
+        ("__shared__ ", "LOCAL "),
+        ("__local ", "LOCAL "),
+        ("__constant__ ", "CONST "),
+        ("__constant ", "CONST "),
+        ("__global ", ""),
+    ]
+    for old, new in subst:
+        cu = cu.replace(old, new)
+        cl = cl.replace(old, new)
+    assert cu == cl
+
+
+def test_unroll_pragma_rendered():
+    k = KernelBuilder("u", CUDA)
+    o = k.buffer("o", Scalar.F32)
+    with k.for_("i", 0, 9, unroll=k.unroll(9, point="a")) as i:
+        k.store(o, i, 0.0)
+    src = render(k.finish())
+    assert "#pragma unroll 9" in src
+    assert "unroll point: a" in src
+
+
+def test_ternary_vs_select():
+    k = KernelBuilder("s", CUDA)
+    o = k.buffer("o", Scalar.F32)
+    t = k.let("t", k.tid.x, Scalar.S32)
+    k.store(o, t, k.select(t < 1, 1.0, 2.0))
+    cu = render(k.finish())
+    assert "?" in cu
+
+    k2 = KernelBuilder("s", OPENCL)
+    o2 = k2.buffer("o", Scalar.F32)
+    t2 = k2.let("t", k2.tid.x, Scalar.S32)
+    k2.store(o2, t2, k2.select(t2 < 1, 1.0, 2.0))
+    cl = render(k2.finish())
+    assert "select(" in cl

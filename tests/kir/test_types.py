@@ -1,0 +1,46 @@
+import numpy as np
+import pytest
+
+from repro.kir.types import AddrSpace, Scalar, is_float, is_integer, np_dtype, sizeof
+
+
+class TestScalar:
+    def test_sizes(self):
+        assert sizeof(Scalar.F32) == 4
+        assert sizeof(Scalar.S32) == 4
+        assert sizeof(Scalar.U32) == 4
+        assert sizeof(Scalar.F64) == 8
+        assert sizeof(Scalar.S64) == 8
+        assert sizeof(Scalar.U64) == 8
+        assert sizeof(Scalar.PRED) == 1
+
+    def test_numpy_mapping(self):
+        assert np_dtype(Scalar.F32) is np.float32
+        assert np_dtype(Scalar.S32) is np.int32
+        assert np_dtype(Scalar.U32) is np.uint32
+        assert np_dtype(Scalar.PRED) is np.bool_
+
+    def test_numpy_size_consistency(self):
+        for t in Scalar:
+            if t is Scalar.PRED:
+                continue
+            assert np.dtype(np_dtype(t)).itemsize == sizeof(t)
+
+    def test_integer_float_partition(self):
+        ints = {t for t in Scalar if is_integer(t)}
+        floats = {t for t in Scalar if is_float(t)}
+        assert ints == {Scalar.U32, Scalar.S32, Scalar.U64, Scalar.S64}
+        assert floats == {Scalar.F32, Scalar.F64}
+        assert not ints & floats
+        assert Scalar.PRED not in ints | floats
+
+
+class TestAddrSpace:
+    def test_all_spaces_present(self):
+        names = {s.name for s in AddrSpace}
+        assert names == {"GLOBAL", "CONST", "SHARED", "LOCAL", "TEXTURE", "PARAM"}
+
+    def test_values_match_ptx_names(self):
+        assert AddrSpace.GLOBAL.value == "global"
+        assert AddrSpace.SHARED.value == "shared"
+        assert AddrSpace.TEXTURE.value == "tex"

@@ -1,0 +1,98 @@
+import pytest
+
+from repro.kir import CUDA, KernelBuilder, KernelValidationError, OPENCL, Scalar
+from repro.kir.expr import BufferRef, Const, Load, Var
+from repro.kir.stmt import Assign, Barrier, If, Kernel, Let, Store, While
+from repro.kir.types import AddrSpace
+from repro.kir.validate import validate
+
+
+def _kernel(body, params=None, shared=(), dialect="cuda"):
+    return Kernel(
+        "k", list(params or []), list(body), dialect=dialect, shared=list(shared)
+    )
+
+
+def test_use_of_undeclared_variable():
+    buf = BufferRef("o", Scalar.S32)
+    bad = _kernel([Store(buf, Const(0, Scalar.S32), Var("ghost", Scalar.S32))], [buf])
+    with pytest.raises(KernelValidationError, match="undeclared variable"):
+        validate(bad)
+
+
+def test_store_to_undeclared_buffer():
+    ghost = BufferRef("ghost", Scalar.S32)
+    bad = _kernel([Store(ghost, Const(0, Scalar.S32), Const(1, Scalar.S32))], [])
+    with pytest.raises(KernelValidationError, match="undeclared buffer"):
+        validate(bad)
+
+
+def test_assignment_before_declaration():
+    buf = BufferRef("o", Scalar.S32)
+    bad = _kernel([Assign(Var("x", Scalar.S32), Const(1, Scalar.S32))], [buf])
+    with pytest.raises(KernelValidationError, match="undeclared"):
+        validate(bad)
+
+
+def test_redeclaration_rejected():
+    buf = BufferRef("o", Scalar.S32)
+    x = Var("x", Scalar.S32)
+    bad = _kernel(
+        [Let(x, Const(1, Scalar.S32)), Let(x, Const(2, Scalar.S32))], [buf]
+    )
+    with pytest.raises(KernelValidationError, match="redeclaration"):
+        validate(bad)
+
+
+def test_texture_fetch_requires_cuda_dialect():
+    buf = BufferRef("a", Scalar.F32)
+    out = BufferRef("o", Scalar.F32)
+    body = [
+        Store(out, Const(0, Scalar.S32), Load(buf, Const(0, Scalar.S32), via_texture=True))
+    ]
+    validate(_kernel(body, [buf, out], dialect="cuda"))
+    with pytest.raises(KernelValidationError, match="texture"):
+        validate(_kernel(body, [buf, out], dialect="opencl"))
+
+
+def test_shared_buffer_needs_length():
+    buf = BufferRef("o", Scalar.S32)
+    sh = BufferRef("sh", Scalar.S32, AddrSpace.SHARED, length=None)
+    bad = _kernel([], [buf], shared=[sh])
+    with pytest.raises(KernelValidationError, match="static length"):
+        validate(bad)
+
+
+def test_barrier_in_while_rejected():
+    buf = BufferRef("o", Scalar.S32)
+    bad = _kernel(
+        [While(Const(True, Scalar.PRED), (Barrier(),))], [buf]
+    )
+    with pytest.raises(KernelValidationError, match="barrier"):
+        validate(bad)
+
+
+def test_barrier_in_uniform_for_allowed():
+    k = KernelBuilder("k", OPENCL)
+    o = k.buffer("o", Scalar.S32)
+    sh = k.shared("sh", Scalar.S32, 4)
+    with k.for_("i", 0, 4) as i:
+        k.store(sh, k.tid.x, i)
+        k.barrier()
+    k.store(o, k.tid.x, sh[k.tid.x])
+    k.finish()  # validates internally
+
+
+def test_unknown_dialect_rejected():
+    bad = _kernel([], [], dialect="metal")
+    with pytest.raises(KernelValidationError, match="dialect"):
+        validate(bad)
+
+
+def test_loop_variable_shadowing_rejected():
+    k = KernelBuilder("k", CUDA)
+    o = k.buffer("o", Scalar.S32)
+    x = k.let("x", 0)
+    with pytest.raises(ValueError, match="duplicate"):
+        with k.for_("x", 0, 4) as i:
+            pass

@@ -1,0 +1,171 @@
+import pytest
+
+from repro.kir.types import AddrSpace, Scalar
+from repro.ptx import (
+    IClass,
+    Imm,
+    Instr,
+    Op,
+    PTXKernel,
+    PTXParam,
+    PTXVerificationError,
+    Reg,
+    RegAllocator,
+    class_totals,
+    format_instr,
+    format_kernel,
+    histogram,
+    is_load,
+    is_memory,
+    is_store,
+    klass_of,
+    stats_key,
+    verify,
+)
+
+
+class TestISA:
+    def test_table5_classification(self):
+        assert klass_of(Op.ADD) is IClass.ARITHMETIC
+        assert klass_of(Op.MAD) is IClass.ARITHMETIC
+        assert klass_of(Op.FMA) is IClass.ARITHMETIC
+        assert klass_of(Op.SHL) is IClass.LOGIC
+        assert klass_of(Op.AND) is IClass.LOGIC
+        assert klass_of(Op.MOV) is IClass.DATA
+        assert klass_of(Op.LD) is IClass.DATA
+        assert klass_of(Op.TEX) is IClass.DATA
+        assert klass_of(Op.SETP) is IClass.FLOW
+        assert klass_of(Op.SELP) is IClass.FLOW
+        assert klass_of(Op.BRA) is IClass.FLOW
+        assert klass_of(Op.BAR) is IClass.SYNC
+
+    def test_stats_keys_split_by_space(self):
+        assert stats_key(Op.LD, AddrSpace.GLOBAL) == "ld.global"
+        assert stats_key(Op.ST, AddrSpace.SHARED) == "st.shared"
+        assert stats_key(Op.LD, AddrSpace.PARAM) == "ld.param"
+        assert stats_key(Op.TEX) == "ld.tex"
+        assert stats_key(Op.MOV) == "mov"
+
+    def test_memory_predicates(self):
+        assert is_memory(Op.LD) and is_memory(Op.ST) and is_memory(Op.TEX)
+        assert is_load(Op.LD) and is_load(Op.TEX) and not is_load(Op.ST)
+        assert is_store(Op.ST) and not is_store(Op.LD)
+        assert not is_memory(Op.ADD)
+
+
+class TestInstr:
+    def test_regs_read_includes_predicate(self):
+        r0, r1, p = Reg(0, Scalar.S32), Reg(1, Scalar.S32), Reg(2, Scalar.PRED)
+        i = Instr(Op.ADD, Scalar.S32, dst=r0, srcs=(r1, Imm(1, Scalar.S32)), pred=(p, True))
+        read = {r.idx for r in i.regs_read()}
+        assert read == {1, 2}
+
+    def test_allocator_monotone(self):
+        ra = RegAllocator()
+        a, b = ra.new(Scalar.F32), ra.new(Scalar.S32)
+        assert a.idx != b.idx
+
+    def test_reg_str_prefixes(self):
+        assert str(Reg(3, Scalar.F32)) == "%f3"
+        assert str(Reg(3, Scalar.S32)) == "%r3"
+        assert str(Reg(3, Scalar.PRED)) == "%p3"
+
+
+def _kernel(instrs, params=()):
+    return PTXKernel("k", list(params), list(instrs))
+
+
+class TestVerify:
+    def test_use_before_def_rejected(self):
+        r = Reg(0, Scalar.S32)
+        k = _kernel([Instr(Op.ADD, Scalar.S32, dst=r, srcs=(r, Imm(1, Scalar.S32))), Instr(Op.EXIT)])
+        with pytest.raises(PTXVerificationError, match="undefined register"):
+            verify(k)
+
+    def test_branch_to_unknown_label_rejected(self):
+        k = _kernel([Instr(Op.BRA, target="NOPE"), Instr(Op.EXIT)])
+        with pytest.raises(PTXVerificationError, match="unknown label"):
+            verify(k)
+
+    def test_predicated_branch_needs_reconv(self):
+        p = Reg(0, Scalar.PRED)
+        k = _kernel(
+            [
+                Instr(Op.SETP, Scalar.S32, dst=p, srcs=(Imm(0, Scalar.S32), Imm(1, Scalar.S32)), cmp="lt"),
+                Instr(Op.BRA, pred=(p, True), target="L"),
+                Instr(Op.LABEL, label="L"),
+                Instr(Op.EXIT),
+            ]
+        )
+        with pytest.raises(PTXVerificationError, match="reconvergence"):
+            verify(k)
+
+    def test_clean_kernel_passes(self):
+        r = Reg(0, Scalar.S32)
+        k = _kernel(
+            [
+                Instr(Op.MOV, Scalar.S32, dst=r, srcs=(Imm(1, Scalar.S32),)),
+                Instr(Op.EXIT),
+            ]
+        )
+        verify(k)  # no raise
+
+    def test_ld_without_space_rejected(self):
+        r = Reg(0, Scalar.S32)
+        k = _kernel([Instr(Op.LD, Scalar.S32, dst=r, srcs=(Imm(0, Scalar.U32),)), Instr(Op.EXIT)])
+        with pytest.raises(PTXVerificationError, match="state space"):
+            verify(k)
+
+
+class TestStats:
+    def test_histogram_counts(self):
+        r = Reg(0, Scalar.S32)
+        a = Reg(1, Scalar.U32)
+        k = _kernel(
+            [
+                Instr(Op.MOV, Scalar.U32, dst=a, srcs=(Imm(0, Scalar.U32),)),
+                Instr(Op.LD, Scalar.S32, dst=r, srcs=(a,), space=AddrSpace.GLOBAL),
+                Instr(Op.ADD, Scalar.S32, dst=r, srcs=(r, Imm(1, Scalar.S32))),
+                Instr(Op.ST, Scalar.S32, srcs=(a, r), space=AddrSpace.GLOBAL),
+                Instr(Op.EXIT),
+            ]
+        )
+        h = histogram(k)
+        assert h["ld.global"] == 1 and h["st.global"] == 1
+        assert h["add"] == 1 and h["mov"] == 1
+        assert "exit" not in h
+
+    def test_class_totals(self):
+        h = {"add": 2, "shl": 3, "mov": 4, "bra": 1, "bar": 1, "ld.global": 2}
+        t = class_totals(h)
+        assert t[IClass.ARITHMETIC] == 2
+        assert t[IClass.LOGIC] == 3
+        assert t[IClass.DATA] == 6
+        assert t[IClass.FLOW] == 1
+        assert t[IClass.SYNC] == 1
+
+
+class TestPrinter:
+    def test_format_instruction_variants(self):
+        r = Reg(0, Scalar.F32)
+        a = Reg(1, Scalar.U32)
+        p = Reg(2, Scalar.PRED)
+        assert "ld.global.f32" in format_instr(
+            Instr(Op.LD, Scalar.F32, dst=r, srcs=(a,), space=AddrSpace.GLOBAL)
+        )
+        assert "@%p2 bra" in format_instr(
+            Instr(Op.BRA, pred=(p, True), target="L", reconv="E")
+        )
+        assert "@!%p2" in format_instr(
+            Instr(Op.BRA, pred=(p, False), target="L", reconv="E")
+        )
+        assert format_instr(Instr(Op.LABEL, label="L0")) == "L0:"
+        assert "bar.sync" in format_instr(Instr(Op.BAR))
+
+    def test_format_kernel_header(self):
+        k = _kernel(
+            [Instr(Op.EXIT)],
+            params=[PTXParam("x", Scalar.F32, is_pointer=True)],
+        )
+        text = format_kernel(k)
+        assert ".entry k" in text and ".param .u64 x" in text

@@ -1,0 +1,296 @@
+import numpy as np
+import pytest
+
+from repro.arch import GTX280, GTX480
+from repro.compiler import compile_cuda, compile_opencl
+from repro.kir import CUDA, KernelBuilder, OPENCL, Scalar, eval_kernel
+from repro.sim import FlatMemory, LaunchFailure, SimDevice
+
+
+class TestFlatMemory:
+    def test_alloc_alignment_and_nonzero_base(self):
+        m = FlatMemory(1 << 16)
+        a = m.alloc(100)
+        b = m.alloc(100)
+        assert a % 256 == 0 and b % 256 == 0
+        assert a != 0 and b > a
+
+    def test_free_and_reuse(self):
+        m = FlatMemory(1 << 16)
+        a = m.alloc(512)
+        m.free(a, 512)
+        b = m.alloc(256)
+        assert b == a
+
+    def test_exhaustion(self):
+        m = FlatMemory(1024)
+        with pytest.raises(MemoryError):
+            m.alloc(10_000)
+
+    def test_typed_roundtrip(self):
+        m = FlatMemory(1 << 16)
+        base = m.alloc(64)
+        addrs = base + np.arange(8, dtype=np.int64) * 4
+        vals = np.arange(8, dtype=np.float32) * 1.5
+        m.store(addrs, vals, Scalar.F32)
+        got = m.load(addrs, Scalar.F32)
+        assert np.array_equal(got, vals)
+
+    def test_oob_wraps_and_counts(self):
+        m = FlatMemory(4096)
+        addrs = np.array([10 * 4096], dtype=np.int64)
+        m.store(addrs, np.array([7], dtype=np.int32), Scalar.S32)
+        assert m.oob_accesses >= 1
+
+    def test_write_read_bytes(self):
+        m = FlatMemory(4096)
+        base = m.alloc(16)
+        m.write_bytes(base, np.arange(4, dtype=np.int32))
+        assert np.array_equal(
+            m.read_array(base, 4, Scalar.S32), np.arange(4, dtype=np.int32)
+        )
+
+
+def _run_both(kern_builder, grid, block, arrays, scalars=None):
+    """Compile with the dialect-matching front end, simulate on GTX480,
+    and cross-check against the reference evaluator."""
+    results = {}
+    for dialect, comp in ((CUDA, compile_cuda), (OPENCL, compile_opencl)):
+        kern = kern_builder(dialect)
+        ptx = comp(kern, max_regs=63)
+        dev = SimDevice(GTX480)
+        args = dict(scalars or {})
+        host = {}
+        for name, arr in arrays.items():
+            host[name] = arr.copy()
+            p = dev.alloc(arr.nbytes)
+            dev.upload(p, host[name])
+            args[name] = p
+        dev.launch(ptx, grid, block, args)
+        out = {
+            name: dev.download(args[name], arr.size, _scalar_of(arr))[0]
+            for name, arr in arrays.items()
+        }
+        # oracle
+        oracle = {name: arr.copy() for name, arr in arrays.items()}
+        oracle.update(scalars or {})
+        eval_kernel(kern, grid, block, oracle)
+        for name in arrays:
+            np.testing.assert_allclose(
+                out[name],
+                oracle[name],
+                rtol=1e-5,
+                atol=1e-6,
+                err_msg=f"{dialect.name}:{name}",
+            )
+        results[dialect.name] = out
+    return results
+
+
+def _scalar_of(arr):
+    return {
+        np.dtype(np.float32): Scalar.F32,
+        np.dtype(np.int32): Scalar.S32,
+        np.dtype(np.uint32): Scalar.U32,
+    }[arr.dtype]
+
+
+class TestInterpreterSemantics:
+    def test_arith_kernel_cross_check(self, rng):
+        def build(dialect):
+            k = KernelBuilder("arith", dialect)
+            a = k.buffer("a", Scalar.F32)
+            o = k.buffer("o", Scalar.F32)
+            i = k.let("i", k.global_id(0), Scalar.S32)
+            v = k.let("v", a[i])
+            k.store(o, i, v * v - v / 2.0 + k.sqrt(k.abs(v)))
+            return k.finish()
+
+        a = rng.uniform(-2, 2, 64).astype(np.float32)
+        _run_both(build, 2, 32, {"a": a, "o": np.zeros(64, dtype=np.float32)})
+
+    def test_integer_ops_cross_check(self, rng):
+        def build(dialect):
+            k = KernelBuilder("ints", dialect)
+            a = k.buffer("a", Scalar.S32)
+            o = k.buffer("o", Scalar.S32)
+            i = k.let("i", k.global_id(0), Scalar.S32)
+            v = k.let("v", a[i])
+            k.store(o, i, ((v << 2) ^ (v >> 1)) & 1023 | (v % 7))
+            return k.finish()
+
+        a = rng.integers(0, 1 << 20, 64).astype(np.int32)
+        _run_both(build, 2, 32, {"a": a, "o": np.zeros(64, dtype=np.int32)})
+
+    def test_divergent_loop_trip_counts(self):
+        def build(dialect):
+            k = KernelBuilder("div", dialect)
+            o = k.buffer("o", Scalar.S32)
+            t = k.let("t", k.tid.x, Scalar.S32)
+            acc = k.let("acc", 0)
+            with k.for_("j", 0, t) as j:  # per-thread trip count
+                k.assign(acc, acc + j)
+            k.store(o, t, acc)
+            return k.finish()
+
+        _run_both(build, 1, 32, {"o": np.zeros(32, dtype=np.int32)})
+
+    def test_nested_divergence(self):
+        def build(dialect):
+            k = KernelBuilder("nest", dialect)
+            o = k.buffer("o", Scalar.S32)
+            t = k.let("t", k.tid.x, Scalar.S32)
+            v = k.let("v", 0)
+            with k.if_((t & 1).eq(0)):
+                with k.if_(t < 16):
+                    k.assign(v, 1)
+                k.assign(v, v + 10)
+            k.store(o, t, v)
+            return k.finish()
+
+        _run_both(build, 1, 32, {"o": np.zeros(32, dtype=np.int32)})
+
+    def test_shared_memory_barrier(self):
+        def build(dialect):
+            k = KernelBuilder("sm", dialect)
+            x = k.buffer("x", Scalar.S32)
+            y = k.buffer("y", Scalar.S32)
+            sh = k.shared("sh", Scalar.S32, 32)
+            t = k.let("t", k.tid.x, Scalar.S32)
+            k.store(sh, t, x[k.global_id(0)])
+            k.barrier()
+            k.store(y, k.global_id(0), sh[31 - t])
+            return k.finish()
+
+        x = np.arange(64, dtype=np.int32)
+        _run_both(build, 2, 32, {"x": x, "y": np.zeros(64, dtype=np.int32)})
+
+    def test_selp(self):
+        def build(dialect):
+            k = KernelBuilder("sel", dialect)
+            o = k.buffer("o", Scalar.F32)
+            t = k.let("t", k.tid.x, Scalar.S32)
+            k.store(o, t, k.select(t < 8, 1.5, -1.5))
+            return k.finish()
+
+        _run_both(build, 1, 16, {"o": np.zeros(16, dtype=np.float32)})
+
+    def test_partial_last_block_masked(self):
+        def build(dialect):
+            k = KernelBuilder("pm", dialect)
+            o = k.buffer("o", Scalar.S32)
+            n = k.scalar("n", Scalar.S32)
+            i = k.let("i", k.global_id(0), Scalar.S32)
+            with k.if_(i < n):
+                k.store(o, i, i + 1)
+            return k.finish()
+
+        _run_both(
+            build, 2, 32, {"o": np.zeros(40, dtype=np.int32)}, scalars={"n": 40}
+        )
+
+
+class TestTexture:
+    def test_texture_load_values(self, rng):
+        k = KernelBuilder("tex", CUDA)
+        a = k.buffer("a", Scalar.F32)
+        o = k.buffer("o", Scalar.F32)
+        idx = k.buffer("idx", Scalar.S32)
+        t = k.let("t", k.global_id(0), Scalar.S32)
+        k.store(o, t, k.texload(a, idx[t]))
+        kern = k.finish()
+        ptx = compile_cuda(kern)
+        dev = SimDevice(GTX280)
+        A = rng.uniform(0, 1, 64).astype(np.float32)
+        I = rng.integers(0, 64, 32).astype(np.int32)
+        pa, po, pi = dev.alloc(256), dev.alloc(128), dev.alloc(128)
+        dev.upload(pa, A)
+        dev.upload(pi, I)
+        dev.launch(ptx, 1, 32, {"a": pa, "o": po, "idx": pi})
+        got, _ = dev.download(po, 32, Scalar.F32)
+        assert np.array_equal(got, A[I])
+
+    def test_texture_cache_reuse_cheaper_than_global_on_gt200(self, rng):
+        def build(use_tex):
+            k = KernelBuilder("g", CUDA)
+            a = k.buffer("a", Scalar.F32)
+            o = k.buffer("o", Scalar.F32)
+            idx = k.buffer("idx", Scalar.S32)
+            t = k.let("t", k.global_id(0), Scalar.S32)
+            acc = k.let("acc", 0.0, Scalar.F32)
+            with k.for_("j", 0, 16) as j:
+                v = k.texload(a, idx[t * 16 + j]) if use_tex else a[idx[t * 16 + j]]
+                k.assign(acc, acc + v)
+            k.store(o, t, acc)
+            return k.finish()
+
+        times = {}
+        for use_tex in (True, False):
+            dev = SimDevice(GTX280)
+            A = rng.uniform(0, 1, 256).astype(np.float32)
+            # clustered indices: cache-friendly reuse
+            I = (rng.integers(0, 32, 64 * 16) + 100).astype(np.int32)
+            pa, po, pi = dev.alloc(1024), dev.alloc(256), dev.alloc(4096)
+            dev.upload(pa, A)
+            dev.upload(pi, I)
+            res = dev.launch(
+                compile_cuda(build(use_tex)), 2, 32, {"a": pa, "o": po, "idx": pi}
+            )
+            times[use_tex] = res.kernel_seconds
+        assert times[True] < times[False]
+
+
+class TestLaunchValidation:
+    def test_oversized_block_rejected(self):
+        k = KernelBuilder("b", CUDA)
+        o = k.buffer("o", Scalar.F32)
+        k.store(o, k.tid.x, 0.0)
+        dev = SimDevice(GTX280)  # max block 512
+        p = dev.alloc(8192)
+        with pytest.raises(LaunchFailure, match="OUT_OF_RESOURCES"):
+            dev.launch(compile_cuda(k.finish()), 1, 1024, {"o": p})
+
+    def test_missing_argument_rejected(self):
+        k = KernelBuilder("m", CUDA)
+        o = k.buffer("o", Scalar.F32)
+        k.store(o, k.tid.x, 0.0)
+        dev = SimDevice(GTX480)
+        with pytest.raises(KeyError, match="o"):
+            dev.launch(compile_cuda(k.finish()), 1, 32, {})
+
+
+class TestTimingModel:
+    def test_coalesced_faster_than_strided(self, rng):
+        from repro.benchsuite import get_benchmark, host_for
+
+        co = get_benchmark("DeviceMemory").run(
+            host_for("cuda", GTX280), size="small", options={"pattern": "coalesced"}
+        )
+        st = get_benchmark("DeviceMemory").run(
+            host_for("cuda", GTX280), size="small", options={"pattern": "strided"}
+        )
+        assert co.value > 2 * st.value  # GB/s
+
+    def test_fermi_faster_than_gt200(self):
+        from repro.benchsuite import get_benchmark, host_for
+
+        r280 = get_benchmark("MxM").run(host_for("cuda", GTX280), size="small")
+        r480 = get_benchmark("MxM").run(host_for("cuda", GTX480), size="small")
+        assert r480.value > r280.value
+
+    def test_deterministic_timing(self):
+        from repro.benchsuite import get_benchmark, host_for
+
+        a = get_benchmark("TranP").run(host_for("cuda", GTX480), size="small")
+        b = get_benchmark("TranP").run(host_for("cuda", GTX480), size="small")
+        assert a.kernel_seconds == b.kernel_seconds
+
+    def test_dyn_histogram_populated(self):
+        k = KernelBuilder("h", CUDA)
+        o = k.buffer("o", Scalar.F32)
+        k.store(o, k.global_id(0), 1.0)
+        dev = SimDevice(GTX480)
+        p = dev.alloc(256)
+        res = dev.launch(compile_cuda(k.finish()), 2, 32, {"o": p})
+        assert res.stats.dyn_hist["st.global"] == 2  # one per warp
+        assert res.stats.blocks == 2
