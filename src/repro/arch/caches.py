@@ -24,9 +24,9 @@ __all__ = ["LRUCache", "CacheStats", "null_cache"]
 class CacheStats:
     __slots__ = ("hits", "misses")
 
-    def __init__(self) -> None:
-        self.hits = 0
-        self.misses = 0
+    def __init__(self, hits: int = 0, misses: int = 0) -> None:
+        self.hits = hits
+        self.misses = misses
 
     @property
     def accesses(self) -> int:
@@ -35,6 +35,22 @@ class CacheStats:
     def hit_rate(self) -> float:
         a = self.accesses
         return self.hits / a if a else 0.0
+
+    # -- per-launch accounting (the profiler's snapshot/delta protocol) --
+    def snapshot(self) -> tuple[int, int]:
+        return (self.hits, self.misses)
+
+    def since(self, snap: tuple[int, int]) -> "CacheStats":
+        """Counters accrued after ``snap`` (one launch's worth)."""
+        return CacheStats(self.hits - snap[0], self.misses - snap[1])
+
+    def add(self, other: "CacheStats") -> "CacheStats":
+        self.hits += other.hits
+        self.misses += other.misses
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CacheStats(hits={self.hits}, misses={self.misses})"
 
 
 class LRUCache:

@@ -32,7 +32,18 @@ def segments_lines(
         return addrs.astype(np.int64), addrs.astype(np.int64)
     first = addrs // line
     last = (addrs + np.maximum(sizes, 1) - 1) // line
-    lines = np.union1d(first, last)
+    counts = last - first + 1
+    if int(counts.max()) == 1:
+        lines = np.unique(first)
+    else:
+        # an access may span three or more lines: enumerate the whole
+        # first..last range per lane, not just its end points
+        total = int(counts.sum())
+        starts = np.repeat(first, counts)
+        offs = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        lines = np.unique(starts + offs)
     bases = lines * line
     return bases, np.full(bases.shape, line, dtype=np.int64)
 
@@ -59,11 +70,28 @@ def segments_gt200(
         s = sizes[lo : lo + 16]
         if a.size == 0:
             continue
-        for seg in np.unique(a // 128):
+        ends = a + np.maximum(s, 1)
+        # an access that straddles a 128B boundary touches every segment
+        # in its first..last range; clip it into per-segment pieces so
+        # the trailing bytes are not dropped
+        seg_first = a // 128
+        seg_last = (ends - 1) // 128
+        touched = np.unique(np.concatenate([seg_first, seg_last]))
+        if int((seg_last - seg_first).max()) > 1:
+            # huge accesses (> 128B) span interior segments too
+            touched = np.unique(
+                np.concatenate(
+                    [
+                        np.arange(int(f), int(l) + 1)
+                        for f, l in zip(seg_first, seg_last)
+                    ]
+                )
+            )
+        for seg in touched:
             base = int(seg) * 128
-            in_seg = (a >= base) & (a < base + 128)
-            first = int(a[in_seg].min())
-            last = int((a[in_seg] + s[in_seg]).max())
+            in_seg = (a < base + 128) & (ends > base)
+            first = max(int(a[in_seg].min()), base)
+            last = min(int(ends[in_seg].max()), base + 128)
             width = 128
             start = base
             for smaller in (64, 32):

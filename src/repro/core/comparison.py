@@ -25,6 +25,10 @@ class ComparisonOutcome:
     fairness: list  # FairnessFinding items (empty = fair comparison)
     cuda_config: ComparisonConfig
     opencl_config: ComparisonConfig
+    #: aggregated per-launch profiles of the two runs (repro.prof); None
+    #: when the run recorded no launches (build failure etc.)
+    cuda_profile: object = None
+    opencl_profile: object = None
 
     @property
     def fair(self) -> bool:
@@ -51,10 +55,19 @@ def compare(
         benchmark = get_benchmark(benchmark)
     assert isinstance(benchmark, Benchmark)
 
+    from ..prof.collect import sim_device_of
+    from ..prof.profile import aggregate
+
     cuda_host = host_for("cuda", spec)
     opencl_host = host_for("opencl", spec)
     cuda_res = benchmark.run(cuda_host, size=size, options=cuda_options)
     opencl_res = benchmark.run(opencl_host, size=size, options=opencl_options)
+    cuda_prof = aggregate(
+        sim_device_of(cuda_host).profiles, label=f"{benchmark.name}/cuda"
+    )
+    opencl_prof = aggregate(
+        sim_device_of(opencl_host).profiles, label=f"{benchmark.name}/opencl"
+    )
 
     params = benchmark.sizes()[size]
     c_opts = benchmark.options_for(CUDA, cuda_options)
@@ -68,6 +81,8 @@ def compare(
         fairness=audit(c_cfg, o_cfg),
         cuda_config=c_cfg,
         opencl_config=o_cfg,
+        cuda_profile=cuda_prof,
+        opencl_profile=opencl_prof,
     )
 
 

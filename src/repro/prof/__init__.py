@@ -1,0 +1,21 @@
+"""``repro.prof`` — structured per-launch profiling.
+
+Lightweight imports only: :mod:`~repro.prof.profile`, report, and trace
+have no simulator dependencies, so ``sim.device`` can attach profiles
+without an import cycle.  The benchmark-running collector lives in
+:mod:`~repro.prof.collect` (import it explicitly, or use the CLI:
+``python -m repro.prof <benchmark> --device gtx480``).
+"""
+from .profile import LaunchProfile, aggregate, build_launch_profile
+from .report import render_profile, render_run
+from .trace import chrome_trace, write_chrome_trace
+
+__all__ = [
+    "LaunchProfile",
+    "aggregate",
+    "build_launch_profile",
+    "render_profile",
+    "render_run",
+    "chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,81 @@
+"""CLI: profile a benchmark and emit an ASCII report + chrome trace.
+
+Usage::
+
+    python -m repro.prof BFS --device gtx480
+    python -m repro.prof MD Sobel --device gtx280 --api opencl --size small
+    python -m repro.prof FFT --device gtx480 --trace fft.trace.json
+"""
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .collect import profile_benchmark
+from .report import render_run
+from .trace import write_chrome_trace
+
+__all__ = ["main"]
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.prof",
+        description="Per-launch profiling of a simulated benchmark run",
+    )
+    ap.add_argument("benchmarks", nargs="+", help="benchmark name(s), e.g. BFS MD FFT")
+    ap.add_argument("--device", default="gtx480", help="device name (default: gtx480)")
+    ap.add_argument(
+        "--api", default="cuda", choices=["cuda", "opencl"], help="runtime to profile"
+    )
+    ap.add_argument("--size", default="small", choices=["small", "default"])
+    ap.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="chrome-trace output path (default: <bench>.<device>.trace.json)",
+    )
+    ap.add_argument(
+        "--no-trace", action="store_true", help="skip writing the trace JSON"
+    )
+    args = ap.parse_args(argv)
+
+    failures = 0
+    for name in args.benchmarks:
+        try:
+            bp = profile_benchmark(
+                name, args.device, api=args.api, size=args.size
+            )
+        except KeyError as e:
+            ap.error(str(e.args[0] if e.args else e))
+        title = f"{bp.benchmark} [{args.size}]"
+        print(render_run(bp.launches, title=title))
+        if not bp.result.ok():
+            print(
+                f"note: benchmark did not complete cleanly "
+                f"({bp.result.failure or 'incorrect output'})"
+            )
+        violations = bp.check()
+        if violations:
+            failures += 1
+            print("profiler invariant violations:", file=sys.stderr)
+            for v in violations:
+                print(f"  !! {v}", file=sys.stderr)
+        else:
+            print(f"profiler invariants: OK ({len(bp.launches)} launches)")
+        if not args.no_trace and bp.launches:
+            path = args.trace or f"{bp.benchmark.lower()}.{bp.device.lower().replace('/', '')}.trace.json"
+            if args.trace and len(args.benchmarks) > 1:
+                # one trace per benchmark: suffix instead of overwriting
+                stem = path[: -len(".json")] if path.endswith(".json") else path
+                path = f"{stem}.{bp.benchmark.lower()}.json"
+            write_chrome_trace(
+                bp.launches, path, process_name=f"{bp.benchmark} on {bp.device}"
+            )
+            print(f"chrome trace written to {path} (open in chrome://tracing)")
+        print()
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

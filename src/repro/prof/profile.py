@@ -1,0 +1,258 @@
+"""Per-launch profiling records — the evidence behind gap attribution.
+
+A :class:`LaunchProfile` captures everything the simulator knows about
+one kernel launch: where the host-side time went (compile, launch
+overhead, kernel), how the issue stream decomposed into the Table-V
+instruction classes, what the coalescer did (transactions per request,
+DRAM bytes), how every cache behaved, shared-memory bank behaviour,
+register-spill traffic, occupancy, and the timing-model breakdown with
+the term that actually bounded the launch.
+
+This is the simulated analogue of ``clGetEventProfilingInfo`` / CUDA
+events + a hardware counter read (cf. Karimi et al., arXiv:1005.2581):
+the runtimes attach one of these records to every event, and
+``core.attribution`` cites the counters instead of re-deriving them.
+
+Layering: this module depends only on ``arch`` (CacheStats, specs) and
+``ptx.isa`` (instruction classes) so the simulator can import it without
+cycles.
+"""
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Mapping, Optional
+
+from ..arch.caches import CacheStats
+from ..ptx.isa import IClass, Op, klass_of
+
+__all__ = ["LaunchProfile", "build_launch_profile", "aggregate"]
+
+
+def _class_of_key(key: str) -> IClass:
+    """Map a Table-V row name (``ld.global``, ``mad``, ...) to its class."""
+    return klass_of(Op(key.split(".")[0]))
+
+
+@dataclasses.dataclass
+class LaunchProfile:
+    """Structured counters for one kernel launch."""
+
+    kernel: str
+    device: str
+    grid: tuple
+    block: tuple
+
+    # -- host-side phases (the runtime layer fills these in) -------------
+    api: str = "sim"  # "cuda" | "opencl" | "sim"
+    compile_s: float = 0.0
+    launch_overhead_s: float = 0.0
+    #: virtual-clock timestamps (CL_PROFILING_COMMAND_{QUEUED,START,END})
+    queued_s: float = 0.0
+    start_s: float = 0.0
+    end_s: float = 0.0
+
+    # -- issue stream -----------------------------------------------------
+    #: issue/latency cycles per Table-V instruction class name
+    issue_cycles: dict = dataclasses.field(default_factory=dict)
+    #: dynamic warp-instruction counts per Table-V row
+    instr_counts: dict = dataclasses.field(default_factory=dict)
+    warp_instructions: int = 0
+    mem_instructions: int = 0
+    blocks: int = 0
+    barriers: int = 0
+
+    # -- coalescer --------------------------------------------------------
+    gmem_requests: int = 0
+    gmem_transactions: int = 0
+    dram_bytes: float = 0.0
+
+    # -- caches (name -> CacheStats): const, tex, l1/l2 or null -----------
+    caches: dict = dataclasses.field(default_factory=dict)
+
+    # -- shared memory / spills -------------------------------------------
+    shared_accesses: int = 0
+    shared_bank_replays: int = 0
+    spill_bytes: float = 0.0
+
+    # -- occupancy --------------------------------------------------------
+    occupancy_warps: int = 0
+    occupancy_blocks: int = 0
+    occupancy_limiter: str = ""
+
+    # -- timing-model breakdown -------------------------------------------
+    total_s: float = 0.0
+    comp_s: float = 0.0
+    mem_s: float = 0.0
+    bw_s: float = 0.0
+    hot_s: float = 0.0
+    bound: str = ""
+    bound_term: str = ""
+    #: DRAM bytes as seen by the timing model (must equal ``dram_bytes``)
+    timing_dram_bytes: float = 0.0
+
+    # -- derived metrics ---------------------------------------------------
+    @property
+    def transactions_per_request(self) -> float:
+        """The classic coalescing metric; 1.0 is perfectly coalesced."""
+        if not self.gmem_requests:
+            return 0.0
+        return self.gmem_transactions / self.gmem_requests
+
+    def hit_rate(self, cache: str) -> float:
+        st = self.caches.get(cache)
+        return st.hit_rate() if st is not None else 0.0
+
+    @property
+    def texture_hit_rate(self) -> float:
+        return self.hit_rate("tex")
+
+    @property
+    def kernel_seconds(self) -> float:
+        return self.total_s
+
+    def check(self) -> list:
+        """Verify the profiler's internal invariants; returns violations."""
+        out = []
+        for name, st in self.caches.items():
+            if st.hits + st.misses != st.accesses:
+                out.append(f"cache {name}: hits+misses != accesses")
+            if st.hits < 0 or st.misses < 0:
+                out.append(f"cache {name}: negative counters")
+        if self.gmem_requests and self.transactions_per_request < 1.0:
+            out.append(
+                f"transactions/request = {self.transactions_per_request:.3f} < 1"
+            )
+        if abs(self.dram_bytes - self.timing_dram_bytes) > 1e-6:
+            out.append(
+                f"profiled DRAM bytes {self.dram_bytes} != timing model "
+                f"{self.timing_dram_bytes}"
+            )
+        if self.shared_bank_replays < 0 or self.spill_bytes < 0:
+            out.append("negative shared/spill counters")
+        return out
+
+    def as_dict(self) -> dict:
+        """JSON-friendly flattening (used by the chrome-trace exporter)."""
+        d = dataclasses.asdict(self)
+        d["caches"] = {
+            k: {"hits": v.hits, "misses": v.misses, "hit_rate": v.hit_rate()}
+            for k, v in self.caches.items()
+        }
+        d["transactions_per_request"] = self.transactions_per_request
+        return d
+
+
+def build_launch_profile(
+    kernel: str,
+    device: str,
+    grid: tuple,
+    block: tuple,
+    stats,
+    occ,
+    timing,
+    mem_delta: Mapping,
+) -> LaunchProfile:
+    """Assemble the record from one launch's simulator outputs.
+
+    ``stats``/``occ``/``timing`` are the interpreter, occupancy, and
+    timing-model results; ``mem_delta`` is
+    ``MemorySystem.prof_since(snapshot)``.
+    """
+    issue: dict = {}
+    for key, cycles in stats.cyc_hist.items():
+        kname = _class_of_key(key).value
+        issue[kname] = issue.get(kname, 0.0) + float(cycles)
+    return LaunchProfile(
+        kernel=kernel,
+        device=device,
+        grid=tuple(grid),
+        block=tuple(block),
+        issue_cycles=issue,
+        instr_counts=dict(stats.dyn_hist),
+        warp_instructions=stats.warp_instructions,
+        mem_instructions=stats.mem_instructions,
+        blocks=stats.blocks,
+        barriers=stats.barriers,
+        gmem_requests=int(mem_delta["gmem_requests"]),
+        gmem_transactions=int(mem_delta["gmem_transactions"]),
+        dram_bytes=float(mem_delta["dram_bytes"].sum()),
+        caches=dict(mem_delta["caches"]),
+        shared_accesses=int(mem_delta["shared_accesses"]),
+        shared_bank_replays=int(mem_delta["shared_replays"]),
+        spill_bytes=float(mem_delta["spill_bytes"]),
+        occupancy_warps=occ.warps_per_cu,
+        occupancy_blocks=occ.blocks_per_cu,
+        occupancy_limiter=occ.limiter,
+        total_s=timing.total_s,
+        comp_s=timing.comp_s,
+        mem_s=timing.mem_s,
+        bw_s=timing.bw_s,
+        hot_s=timing.hot_s,
+        bound=timing.bound,
+        bound_term=timing.bound_term,
+        timing_dram_bytes=timing.dram_bytes,
+    )
+
+
+def aggregate(
+    profiles: Iterable[LaunchProfile], label: str = "*"
+) -> Optional[LaunchProfile]:
+    """Sum a sequence of launch profiles into one roll-up record.
+
+    Additive counters sum; occupancy fields keep the last launch's
+    values; ``bound_term`` becomes the term that dominated the summed
+    kernel time.  Returns ``None`` for an empty sequence.
+    """
+    profiles = list(profiles)
+    if not profiles:
+        return None
+    first = profiles[0]
+    agg = LaunchProfile(
+        kernel=label,
+        device=first.device,
+        grid=first.grid,
+        block=first.block,
+        api=first.api,
+    )
+    bound_time: dict = {}
+    compiled = set()
+    for p in profiles:
+        for k, v in p.issue_cycles.items():
+            agg.issue_cycles[k] = agg.issue_cycles.get(k, 0.0) + v
+        for k, v in p.instr_counts.items():
+            agg.instr_counts[k] = agg.instr_counts.get(k, 0) + v
+        for name, st in p.caches.items():
+            agg.caches.setdefault(name, CacheStats()).add(
+                CacheStats(st.hits, st.misses)
+            )
+        agg.warp_instructions += p.warp_instructions
+        agg.mem_instructions += p.mem_instructions
+        agg.blocks += p.blocks
+        agg.barriers += p.barriers
+        agg.gmem_requests += p.gmem_requests
+        agg.gmem_transactions += p.gmem_transactions
+        agg.dram_bytes += p.dram_bytes
+        agg.timing_dram_bytes += p.timing_dram_bytes
+        agg.shared_accesses += p.shared_accesses
+        agg.shared_bank_replays += p.shared_bank_replays
+        agg.spill_bytes += p.spill_bytes
+        agg.launch_overhead_s += p.launch_overhead_s
+        # a kernel is compiled once however many times it launches
+        if p.kernel not in compiled:
+            compiled.add(p.kernel)
+            agg.compile_s += p.compile_s
+        agg.total_s += p.total_s
+        agg.comp_s += p.comp_s
+        agg.mem_s += p.mem_s
+        agg.bw_s += p.bw_s
+        agg.hot_s += p.hot_s
+        agg.occupancy_warps = p.occupancy_warps
+        agg.occupancy_blocks = p.occupancy_blocks
+        agg.occupancy_limiter = p.occupancy_limiter
+        bound_time[p.bound_term] = bound_time.get(p.bound_term, 0.0) + p.total_s
+    agg.queued_s = min(p.queued_s for p in profiles)
+    agg.start_s = min(p.start_s for p in profiles)
+    agg.end_s = max(p.end_s for p in profiles)
+    agg.bound_term = max(bound_time, key=bound_time.get)
+    agg.bound = "compute" if agg.bound_term == "compute" else "memory"
+    return agg

@@ -1,0 +1,130 @@
+"""ASCII rendering of launch profiles (the ``repro.prof`` report).
+
+One launch renders as a sectioned card: host phases, timing-model
+breakdown with the bounding term, issue cycles by Table-V class,
+coalescer metrics, cache table, shared/spill counters, occupancy.
+A run of launches renders as a per-launch table plus the aggregate card.
+"""
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from .profile import LaunchProfile, aggregate
+
+__all__ = ["render_profile", "render_run"]
+
+#: Table-V class display order
+_CLASS_ORDER = [
+    "Arithmetic",
+    "Logic/Shift",
+    "Data Movement",
+    "Flow Control",
+    "Synchronization",
+    "Other",
+]
+
+
+def _fmt_s(s: float) -> str:
+    if s >= 1.0:
+        return f"{s:.3f} s"
+    if s >= 1e-3:
+        return f"{s * 1e3:.3f} ms"
+    return f"{s * 1e6:.2f} us"
+
+
+def _fmt_bytes(b: float) -> str:
+    if b >= 1 << 30:
+        return f"{b / (1 << 30):.2f} GiB"
+    if b >= 1 << 20:
+        return f"{b / (1 << 20):.2f} MiB"
+    if b >= 1 << 10:
+        return f"{b / (1 << 10):.2f} KiB"
+    return f"{b:.0f} B"
+
+
+def render_profile(p: LaunchProfile, title: Optional[str] = None) -> str:
+    lines = [
+        f"== {title or p.kernel} on {p.device} ({p.api}) ==",
+        f"grid {p.grid} block {p.block}   blocks run: {p.blocks}   "
+        f"barriers: {p.barriers}",
+        "",
+        "host phases:",
+        f"  compile         {_fmt_s(p.compile_s):>12}",
+        f"  launch overhead {_fmt_s(p.launch_overhead_s):>12}",
+        f"  kernel          {_fmt_s(p.total_s):>12}",
+        "",
+        f"timing model (bound: {p.bound_term or p.bound}):",
+        f"  comp {_fmt_s(p.comp_s):>12}   mem {_fmt_s(p.mem_s):>12}   "
+        f"bw {_fmt_s(p.bw_s):>12}   camping {_fmt_s(p.hot_s):>12}",
+        "",
+        "issue cycles by instruction class:",
+    ]
+    total_cyc = sum(p.issue_cycles.values()) or 1.0
+    for klass in _CLASS_ORDER:
+        cycles = p.issue_cycles.get(klass)
+        if cycles is None:
+            continue
+        lines.append(
+            f"  {klass:<16} {cycles:>14.0f}  ({100.0 * cycles / total_cyc:5.1f}%)"
+        )
+    lines += [
+        "",
+        "global memory (coalescer):",
+        f"  requests     {p.gmem_requests:>12}",
+        f"  transactions {p.gmem_transactions:>12}"
+        f"   ({p.transactions_per_request:.2f} per request)",
+        f"  DRAM traffic {_fmt_bytes(p.dram_bytes):>12}",
+        "",
+        "caches:",
+        f"  {'cache':<8}{'accesses':>10}{'hits':>10}{'misses':>10}{'hit rate':>10}",
+    ]
+    for name in ("const", "tex", "l1", "l2", "null"):
+        st = p.caches.get(name)
+        if st is None:
+            continue
+        lines.append(
+            f"  {name:<8}{st.accesses:>10}{st.hits:>10}{st.misses:>10}"
+            f"{st.hit_rate():>9.1%}"
+        )
+    lines += [
+        "",
+        "shared memory / spills:",
+        f"  shared accesses {p.shared_accesses:>10}   bank replays "
+        f"{p.shared_bank_replays:>8}",
+        f"  spill traffic   {_fmt_bytes(p.spill_bytes):>10}",
+        "",
+        f"occupancy: {p.occupancy_warps} warps/CU, {p.occupancy_blocks} "
+        f"blocks/CU (limiter: {p.occupancy_limiter or 'n/a'})",
+        f"dynamic warp instructions: {p.warp_instructions} "
+        f"({p.mem_instructions} memory)",
+    ]
+    violations = p.check()
+    if violations:
+        lines.append("")
+        lines.append("INVARIANT VIOLATIONS:")
+        lines += [f"  !! {v}" for v in violations]
+    return "\n".join(lines)
+
+
+def render_run(
+    profiles: Sequence[LaunchProfile], title: str = "run"
+) -> str:
+    """Per-launch table + aggregate card for a whole benchmark run."""
+    if not profiles:
+        return f"== {title}: no launches recorded =="
+    head = (
+        f"{'#':>3} {'kernel':<24} {'grid':>12} {'time':>12} "
+        f"{'bound':>10} {'tpr':>6} {'DRAM':>10}"
+    )
+    lines = [f"== {title}: {len(profiles)} launch(es) ==", head, "-" * len(head)]
+    for i, p in enumerate(profiles):
+        g = "x".join(str(d) for d in p.grid)
+        lines.append(
+            f"{i:>3} {p.kernel[:24]:<24} {g:>12} {_fmt_s(p.total_s):>12} "
+            f"{(p.bound_term or p.bound):>10} "
+            f"{p.transactions_per_request:>6.2f} "
+            f"{_fmt_bytes(p.dram_bytes):>10}"
+        )
+    agg = aggregate(profiles, label=f"{title} (aggregate)")
+    lines += ["", render_profile(agg, title=f"{title} aggregate")]
+    return "\n".join(lines)

@@ -10,6 +10,7 @@ reproducible.
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Mapping, Optional
 
 import numpy as np
@@ -18,6 +19,7 @@ from ...arch.specs import DeviceSpec, GTX480
 from ...compiler.nvopencc import compile_cuda
 from ...kir.stmt import Kernel as KirKernel
 from ...kir.types import Scalar
+from ...prof.profile import LaunchProfile
 from ...ptx.module import PTXKernel
 from ...sim.device import LaunchFailure, LaunchResult, SimDevice
 from ..overhead import cuda_launch_overhead_s
@@ -51,10 +53,18 @@ class CudaEvent:
 class CudaFunction:
     """A compiled ``__global__`` function."""
 
-    def __init__(self, ctx: "CudaContext", ptx: PTXKernel, source: KirKernel):
+    def __init__(
+        self,
+        ctx: "CudaContext",
+        ptx: PTXKernel,
+        source: KirKernel,
+        compile_s: float = 0.0,
+    ):
         self.ctx = ctx
         self.ptx = ptx
         self.source = source
+        #: front-end compile wall time (a LaunchProfile host phase)
+        self.compile_s = compile_s
 
     @property
     def name(self) -> str:
@@ -111,8 +121,9 @@ class CudaContext:
             self.spec.max_regs_per_thread,
             max(16, self.spec.regfile_per_cu // max(kernel.wg_hint, 32)),
         )
+        t0 = time.perf_counter()
         ptx = compile_cuda(kernel, max_regs=budget)
-        return CudaFunction(self, ptx, kernel)
+        return CudaFunction(self, ptx, kernel, time.perf_counter() - t0)
 
     # -- execution ------------------------------------------------------------
     def launch(self, fn: CudaFunction, grid, block, args: Mapping) -> LaunchResult:
@@ -129,7 +140,16 @@ class CudaContext:
             res = self.device.launch(fn.ptx, grid, block, prepared)
         except LaunchFailure as e:
             raise CudaError(str(e)) from e
-        self.now += cuda_launch_overhead_s(work_items) + res.kernel_seconds
+        overhead = cuda_launch_overhead_s(work_items)
+        if res.profile is not None:
+            p = res.profile
+            p.api = "cuda"
+            p.compile_s = fn.compile_s
+            p.launch_overhead_s = overhead
+            p.queued_s = self.now
+            p.start_s = self.now + overhead
+            p.end_s = p.start_s + res.kernel_seconds
+        self.now += overhead + res.kernel_seconds
         self.kernel_seconds_total += res.kernel_seconds
         self.launch_count += 1
         self.last_launch = res
@@ -141,3 +161,15 @@ class CudaContext:
 
     def synchronize(self) -> None:
         """No-op: the virtual clock is already consistent."""
+
+    # -- profiling ----------------------------------------------------------
+    def profile_query(self) -> Optional[LaunchProfile]:
+        """The last launch's profile (CUPTI-style counter readout)."""
+        if self.last_launch is None:
+            return None
+        return self.last_launch.profile
+
+    @property
+    def profiles(self) -> list:
+        """Every launch profile recorded on this context's device."""
+        return self.device.profiles

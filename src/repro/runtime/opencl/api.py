@@ -34,6 +34,7 @@ from ...arch.specs import (
 from ...compiler.clc import compile_opencl
 from ...kir.stmt import Kernel as KirKernel
 from ...kir.types import Scalar, sizeof
+from ...prof.profile import LaunchProfile
 from ...ptx.module import PTXKernel
 from ...sim.device import LaunchFailure, LaunchResult, SimDevice
 from ..overhead import opencl_launch_overhead_s
@@ -175,6 +176,9 @@ class Event:
     submit_s: float = 0.0
     start_s: float = 0.0
     end_s: float = 0.0
+    #: per-launch counter record (kernel events only; the simulated
+    #: analogue of a vendor profiling extension)
+    profile: Optional["LaunchProfile"] = None
 
     @property
     def kernel_seconds(self) -> float:
@@ -184,6 +188,19 @@ class Event:
     def launch_latency_seconds(self) -> float:
         """Queue entry -> execution start (the paper's 'kernel launch time')."""
         return self.start_s - self.queued_s
+
+    def get_profiling_info(self, param: str) -> int:
+        """``clGetEventProfilingInfo``: virtual timestamps in nanoseconds."""
+        times = {
+            "CL_PROFILING_COMMAND_QUEUED": self.queued_s,
+            "CL_PROFILING_COMMAND_SUBMIT": self.submit_s,
+            "CL_PROFILING_COMMAND_START": self.start_s,
+            "CL_PROFILING_COMMAND_END": self.end_s,
+        }
+        try:
+            return int(round(times[param] * 1e9))
+        except KeyError:
+            raise CLError("CL_INVALID_VALUE", param) from None
 
 
 SourceFn = Callable[[Mapping[str, int]], Sequence[KirKernel]]
@@ -204,8 +221,12 @@ class Program:
         self._built: Optional[dict] = None
         self.build_log: list = []
         self.defines: dict = {}
+        self.build_s = 0.0
 
     def build(self, defines: Optional[Mapping[str, int]] = None) -> "Program":
+        import time as _time
+
+        t0 = _time.perf_counter()
         defines = dict(defines or {})
         self.defines = defines
         kernels = (
@@ -240,6 +261,8 @@ class Program:
                         "inlined helpers are unsupported on this device"
                     )
         self._built = built
+        #: clBuildProgram wall time, amortized per kernel when profiling
+        self.build_s = _time.perf_counter() - t0
         return self
 
     def kernel(self, name: str) -> "Kernel":
@@ -332,11 +355,25 @@ class CommandQueue:
         except LaunchFailure as e:
             raise CLError(e.code, f"kernel {kernel.name!r}") from e
         end = start + res.kernel_seconds
+        if res.profile is not None:
+            p = res.profile
+            p.api = "opencl"
+            p.compile_s = kernel.program.build_s
+            p.launch_overhead_s = overhead
+            p.queued_s = queued
+            p.start_s = start
+            p.end_s = end
         self.now = end
         self.kernel_seconds_total += res.kernel_seconds
         self.launch_count += 1
         self.last_launch = res
-        return Event(queued_s=queued, submit_s=queued, start_s=start, end_s=end)
+        return Event(
+            queued_s=queued,
+            submit_s=queued,
+            start_s=start,
+            end_s=end,
+            profile=res.profile,
+        )
 
     def finish(self) -> None:
         """No-op: the virtual clock is already consistent."""

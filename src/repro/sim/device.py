@@ -15,6 +15,7 @@ import numpy as np
 from ..arch.occupancy import Occupancy, occupancy
 from ..arch.specs import DeviceSpec
 from ..kir.types import Scalar, np_dtype
+from ..prof.profile import LaunchProfile, build_launch_profile
 from ..ptx.module import PTXKernel
 from .interp import LaunchStats, run_grid
 from .memory import FlatMemory, OutOfDeviceMemory
@@ -37,6 +38,7 @@ class LaunchResult:
     timing: KernelTiming
     stats: LaunchStats
     occupancy: Occupancy
+    profile: Optional[LaunchProfile] = None
 
     @property
     def kernel_seconds(self) -> float:
@@ -56,6 +58,8 @@ class SimDevice:
         self.mem = FlatMemory(spec.mem_capacity_mb * (1 << 20))
         self.memsys = MemorySystem(spec)
         self.launch_log: list = []
+        #: one LaunchProfile per launch, in launch order
+        self.profiles: list[LaunchProfile] = []
 
     # -- memory -----------------------------------------------------------
     def alloc(self, nbytes: int) -> int:
@@ -144,12 +148,13 @@ class SimDevice:
                 f"kernel {kernel.name!r} does not fit on a compute unit",
             )
 
-        before = self.memsys.dram_bytes.copy()
+        msnap = self.memsys.prof_snapshot()
         regions_before = dict(self.memsys.region_counts)
         stats = run_grid(
             kernel, self.spec, self.memsys, self.mem, prepared, grid, block
         )
-        dram = self.memsys.dram_bytes - before
+        mem_delta = self.memsys.prof_since(msnap)
+        dram = mem_delta["dram_bytes"]
         t = self.spec.timing
         hot_cycles = 0.0
         if t.partition_service_cycles > 0:
@@ -159,6 +164,13 @@ class SimDevice:
                 if over > 0:
                     hot_cycles += over * t.partition_service_cycles
         timing = kernel_time(self.spec, stats, dram, occ, hot_cycles)
-        result = LaunchResult(timing=timing, stats=stats, occupancy=occ)
+        profile = build_launch_profile(
+            kernel.name, self.spec.name, grid, block, stats, occ, timing,
+            mem_delta,
+        )
+        self.profiles.append(profile)
+        result = LaunchResult(
+            timing=timing, stats=stats, occupancy=occ, profile=profile
+        )
         self.launch_log.append((kernel.name, grid, block, timing.total_s))
         return result

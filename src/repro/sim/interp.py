@@ -57,6 +57,8 @@ class LaunchStats:
         self.comp_cycles = np.zeros(n_cu, dtype=np.float64)
         self.mem_cycles = np.zeros(n_cu, dtype=np.float64)
         self.dyn_hist: Counter = Counter()
+        #: issue/latency cycles charged per Table-V row (profiler feed)
+        self.cyc_hist: Counter = Counter()
         self.warp_instructions = 0
         self.mem_instructions = 0
         self.blocks = 0
@@ -261,6 +263,7 @@ class GridRunner:
         t = spec.timing
         stats = self.stats
         hist = stats.dyn_hist
+        cyc = stats.cyc_hist
         WW = self.WW
         instrs = self.instrs
         n = self.n_instr
@@ -323,6 +326,7 @@ class GridRunner:
                 comp += t.alu_cycles * ngr
                 stats.warp_instructions += ngr
                 hist["bra"] += ngr
+                cyc["bra"] += t.alu_cycles * ngr
                 if i.pred is None:
                     frame[1] = self.target_pc[pc]
                     continue
@@ -354,11 +358,13 @@ class GridRunner:
                     )
                 barriers += 1
                 comp += t.alu_cycles * ngr
+                cyc["bar"] += t.alu_cycles * ngr
                 frame[1] = pc + 1
                 continue
 
             stats.warp_instructions += ngr
             hist[self.hkey[pc]] += ngr
+            c0 = comp + memc  # cycles charged by this instruction
 
             if op is Op.MOV:
                 if i.sreg is not None:
@@ -436,6 +442,7 @@ class GridRunner:
                 comp += cost * ngr
                 prev_op = op  # pairing looks through movs/loads
 
+            cyc[self.hkey[pc]] += comp + memc - c0
             frame[1] = pc + 1
 
         stats.comp_cycles[cu] += comp

@@ -43,6 +43,68 @@ class MemorySystem:
         from collections import Counter
 
         self.region_counts: Counter = Counter()
+        # profiler counters (cumulative; SimDevice snapshots around each
+        # launch to recover per-launch deltas)
+        self.gmem_requests = 0
+        self.gmem_transactions = 0
+        self.shared_accesses = 0
+        self.shared_replays = 0
+        self.spill_bytes = 0.0
+
+    def cache_groups(self) -> dict:
+        """Named cache banks for per-launch profiling.
+
+        ``null`` is the cache-less GT200 global-load path: every
+        transaction is recorded as a miss, which is exactly what the
+        hardware does to DRAM.
+        """
+        groups = {"const": list(self.const), "tex": list(self.tex)}
+        if self.spec.has_global_cache:
+            groups["l1"] = list(self.l1)
+            groups["l2"] = [self.l2]
+        else:
+            groups["null"] = list(self.l1)
+        return groups
+
+    def prof_snapshot(self) -> dict:
+        """Snapshot every profiler-visible counter (cheap, per launch)."""
+        return {
+            "gmem_requests": self.gmem_requests,
+            "gmem_transactions": self.gmem_transactions,
+            "shared_accesses": self.shared_accesses,
+            "shared_replays": self.shared_replays,
+            "spill_bytes": self.spill_bytes,
+            "dram_bytes": self.dram_bytes.copy(),
+            "caches": {
+                name: [c.stats.snapshot() for c in caches]
+                for name, caches in self.cache_groups().items()
+            },
+        }
+
+    def prof_since(self, snap: dict) -> dict:
+        """Per-launch counter deltas since ``snap``.
+
+        Cache counters are aggregated across the per-CU banks into one
+        :class:`~repro.arch.caches.CacheStats` per named group.
+        """
+        from ..arch.caches import CacheStats
+
+        caches: dict = {}
+        for name, banks in self.cache_groups().items():
+            agg = CacheStats()
+            for cache, s in zip(banks, snap["caches"][name]):
+                agg.add(cache.stats.since(s))
+            caches[name] = agg
+        return {
+            "gmem_requests": self.gmem_requests - snap["gmem_requests"],
+            "gmem_transactions": self.gmem_transactions
+            - snap["gmem_transactions"],
+            "shared_accesses": self.shared_accesses - snap["shared_accesses"],
+            "shared_replays": self.shared_replays - snap["shared_replays"],
+            "spill_bytes": self.spill_bytes - snap["spill_bytes"],
+            "dram_bytes": self.dram_bytes - snap["dram_bytes"],
+            "caches": caches,
+        }
 
     def _count_regions(self, bases) -> None:
         for b in bases:
@@ -56,6 +118,8 @@ class MemorySystem:
         t = self.spec.timing
         segs, traffic = coalesce(self.spec, addrs, sizes)
         nseg = max(int(segs.size), 1)
+        self.gmem_requests += 1
+        self.gmem_transactions += nseg
         if is_store:
             # write-through, fire-and-forget: traffic but little stall
             self.dram_bytes[cu] += traffic
@@ -68,6 +132,7 @@ class MemorySystem:
         if not self.spec.has_global_cache:
             self.dram_bytes[cu] += traffic
             self._count_regions(segs.tolist())
+            self.l1[cu].stats.misses += nseg  # null path: all misses
             return t.dram_latency + t.tx_cycles * (nseg - 1)
         # Fermi-style: L1 -> L2 -> DRAM
         worst = t.l1_hit
@@ -129,11 +194,13 @@ class MemorySystem:
     def access_shared(self, cu: int, addrs: np.ndarray) -> float:
         """Banked shared/local-memory access."""
         t = self.spec.timing
+        self.shared_accesses += 1
         if self.spec.local_mem_is_plain_memory:
             # CPU device: "local" memory is ordinary cached memory — the
             # staging copy is pure overhead (paper §V, TranP on Intel920)
             return t.shared_latency
         replays = bank_conflicts(self.spec, addrs)
+        self.shared_replays += replays - 1
         return t.shared_latency + (replays - 1) * 4.0
 
     def access_local(self, cu: int, nbytes_per_thread: int, width: int) -> float:
@@ -144,6 +211,7 @@ class MemorySystem:
         """
         t = self.spec.timing
         traffic = width * self.spec.warp_width
+        self.spill_bytes += traffic
         if self.spec.has_global_cache:
             return t.l1_hit
         self.dram_bytes[cu] += traffic

@@ -34,6 +34,13 @@ class KernelTiming:
     dram_bytes: float
     bound: str  # "compute" | "memory"
     occupancy_warps: int
+    #: device-wide bandwidth and partition-camping terms of the
+    #: ``max(per_cu, bw_total, hot)`` decision (seconds)
+    bw_s: float = 0.0
+    hot_s: float = 0.0
+    #: which term actually won ``total_s``:
+    #: "compute" | "latency" | "bandwidth" | "camping"
+    bound_term: str = "compute"
 
 
 def kernel_time(
@@ -72,7 +79,23 @@ def kernel_time(
     # stream loses its few percent on DeviceMemory (Fig. 1)
     bw_total = bw_s + t.overlap_leak * float(comp_s.max())
     hot_s = hot_cycles / hz  # device-wide serialization (partition camping)
-    total = max(float(per_cu.max()), bw_total, hot_s) + t.ramp_us * 1e-6
+    per_cu_max = float(per_cu.max())
+    winner = max(per_cu_max, bw_total, hot_s)
+    total = winner + t.ramp_us * 1e-6
+
+    # classify the bound from the term that actually won the max():
+    # summed per-CU comp/mem totals can disagree with the winning term
+    # (e.g. a bandwidth-bound launch whose summed comp_s exceeds the
+    # summed mem_s), so derive it from the decision itself
+    if winner == hot_s and hot_s > 0.0:
+        bound_term = "camping"
+    elif winner == bw_total and bw_total > per_cu_max:
+        bound_term = "bandwidth"
+    else:
+        slowest = int(np.argmax(per_cu))
+        bound_term = (
+            "compute" if comp_s[slowest] >= mem_s[slowest] else "latency"
+        )
 
     c_tot, m_tot = float(comp_s.sum()), float(max(mem_s.sum(), bw_s))
     return KernelTiming(
@@ -80,6 +103,9 @@ def kernel_time(
         comp_s=c_tot,
         mem_s=m_tot,
         dram_bytes=float(dram_bytes.sum()),
-        bound="compute" if c_tot >= m_tot else "memory",
+        bound="compute" if bound_term == "compute" else "memory",
         occupancy_warps=occ.warps_per_cu,
+        bw_s=bw_s,
+        hot_s=hot_s,
+        bound_term=bound_term,
     )

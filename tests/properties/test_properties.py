@@ -149,6 +149,40 @@ def test_coalescer_covers_all_accesses(raw):
                 assert (a // 128) * 128 in lines
 
 
+@settings(max_examples=60, deadline=None)
+@given(
+    addrs=st.lists(st.integers(0, 1 << 20), min_size=1, max_size=32),
+    sizes=st.lists(st.integers(1, 16), min_size=32, max_size=32),
+)
+def test_coalescer_coverage_and_conservation(addrs, sizes):
+    """Every byte a lane touches lies inside some returned segment, and
+    the summed segment widths cover at least the touched bytes — for
+    arbitrary (unaligned, straddling) addr/size vectors on both
+    architectures.  This is the property the two coalescer bugs broke.
+    """
+    a = np.array(addrs, dtype=np.int64)
+    s = np.array(sizes[: a.size], dtype=np.int64)
+    touched = set()
+    for ai, si in zip(a.tolist(), s.tolist()):
+        touched.update(range(ai, ai + si))
+    for spec in (GTX280, GTX480):
+        if spec is GTX280:
+            bases, widths = segments_gt200(a, s)
+        else:
+            from repro.arch import segments_lines
+
+            bases, widths = segments_lines(a, s, spec.line_bytes)
+        covered = set()
+        for b, w in zip(bases.tolist(), widths.tolist()):
+            covered.update(range(int(b), int(b) + int(w)))
+        missing = touched - covered
+        assert not missing, (
+            f"{spec.name}: {len(missing)} touched bytes outside every "
+            f"segment (e.g. {sorted(missing)[:4]})"
+        )
+        assert int(widths.sum()) >= len(touched)
+
+
 @settings(max_examples=50, deadline=None)
 @given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=16))
 def test_gt200_segments_aligned_and_bounded(raw):
