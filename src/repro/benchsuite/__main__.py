@@ -1,15 +1,20 @@
 """CLI: run benchmarks directly.
 
     python -m repro.benchsuite Sobel FFT --device GTX280 --api both
-    python -m repro.benchsuite --all --device GTX480 --size small
+    python -m repro.benchsuite --all --device GTX480 --size small --jobs 4
+
+Runs go through the :mod:`repro.exec` sweep engine: each (benchmark,
+api) pair is one work unit, cold units fan out over ``--jobs`` worker
+processes, and results are memoized in the content-addressed cache
+(disable with ``--no-cache``).
 """
 from __future__ import annotations
 
 import argparse
 
+from .. import exec as rexec
 from ..arch.specs import ALL_DEVICES
-from .base import host_for
-from .registry import REAL_WORLD, REGISTRY, SYNTHETIC, get_benchmark
+from .registry import REAL_WORLD, REGISTRY, SYNTHETIC
 
 
 def main(argv=None) -> int:
@@ -22,6 +27,18 @@ def main(argv=None) -> int:
     ap.add_argument("--device", default="GTX480", choices=sorted(ALL_DEVICES))
     ap.add_argument("--api", default="both", choices=["cuda", "opencl", "both"])
     ap.add_argument("--size", default="default", choices=["small", "default"])
+    ap.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan cold work units out over N worker processes",
+    )
+    ap.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    ap.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache for this run",
+    )
     args = ap.parse_args(argv)
 
     names = (SYNTHETIC + REAL_WORLD) if args.all else args.names
@@ -33,13 +50,22 @@ def main(argv=None) -> int:
         print(f"note: {spec.name} is not CUDA-capable; running OpenCL only")
         apis = ["opencl"]
 
+    cache = None if args.no_cache else (args.cache_dir or rexec.default_cache_dir())
+    executor = rexec.SweepExecutor(jobs=args.jobs, cache=cache)
+    units = [
+        rexec.make_unit(name, api, spec, args.size)
+        for name in names
+        for api in apis
+    ]
+
     print(f"{'benchmark':10s} {'api':7s} {'value':>12s} {'unit':14s} "
           f"{'kernel':>10s} {'status':6s}")
     print("-" * 66)
     rc = 0
-    for name in names:
-        for api in apis:
-            r = get_benchmark(name).run(host_for(api, spec), size=args.size)
+    with rexec.use_executor(executor):
+        executor.prewarm(units)
+        for unit in units:
+            r = executor.run_unit(unit).bench
             status = "ok" if r.ok() else (r.failure or "FL")
             if not r.ok():
                 rc = 1
@@ -48,7 +74,7 @@ def main(argv=None) -> int:
             )
             val = "-" if r.value != r.value else f"{r.value:.4g}"
             print(
-                f"{name:10s} {api:7s} {val:>12s} {r.unit:14s} "
+                f"{unit.benchmark:10s} {unit.api:7s} {val:>12s} {r.unit:14s} "
                 f"{kern:>10s} {status:6s}"
             )
     return rc

@@ -10,7 +10,7 @@ import dataclasses
 from typing import Mapping, Optional
 
 from ..arch.specs import DeviceSpec
-from ..benchsuite.base import Benchmark, BenchResult, host_for
+from ..benchsuite.base import Benchmark
 from ..benchsuite.registry import get_benchmark
 from ..kir.dialect import CUDA, OPENCL
 from .fairness import ComparisonConfig, audit, describe
@@ -55,19 +55,14 @@ def compare(
         benchmark = get_benchmark(benchmark)
     assert isinstance(benchmark, Benchmark)
 
-    from ..prof.collect import sim_device_of
-    from ..prof.profile import aggregate
+    from ..exec import make_unit, run_unit
 
-    cuda_host = host_for("cuda", spec)
-    opencl_host = host_for("opencl", spec)
-    cuda_res = benchmark.run(cuda_host, size=size, options=cuda_options)
-    opencl_res = benchmark.run(opencl_host, size=size, options=opencl_options)
-    cuda_prof = aggregate(
-        sim_device_of(cuda_host).profiles, label=f"{benchmark.name}/cuda"
+    cuda_unit = run_unit(make_unit(benchmark.name, "cuda", spec, size, cuda_options))
+    opencl_unit = run_unit(
+        make_unit(benchmark.name, "opencl", spec, size, opencl_options)
     )
-    opencl_prof = aggregate(
-        sim_device_of(opencl_host).profiles, label=f"{benchmark.name}/opencl"
-    )
+    cuda_res, cuda_prof = cuda_unit.bench, cuda_unit.profile
+    opencl_res, opencl_prof = opencl_unit.bench, opencl_unit.profile
 
     params = benchmark.sizes()[size]
     c_opts = benchmark.options_for(CUDA, cuda_options)

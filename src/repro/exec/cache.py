@@ -1,0 +1,131 @@
+"""Content-addressed on-disk result cache for sweep work units.
+
+Layout: ``<root>/<digest[:2]>/<digest>.json``, one JSON payload per
+unit.  Writes are atomic (tmp file + ``os.replace``) so parallel
+workers and concurrent sweeps can share one cache directory safely.
+
+Serialization is also the normalization layer: the engine round-trips
+*every* result — fresh or cached — through :func:`result_to_json` /
+:func:`result_from_json`, so a cache hit is byte-identical to a fresh
+simulation by construction (the property ``tests/exec`` asserts).
+"""
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+from ..arch.caches import CacheStats
+from ..benchsuite.base import BenchResult
+from ..prof.profile import LaunchProfile
+from .unit import UnitResult, WorkUnit, _plain
+
+__all__ = [
+    "ResultCache",
+    "result_to_json",
+    "result_from_json",
+    "default_cache_dir",
+]
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_CACHE_DIR`` when set, else ``.repro-cache`` in the cwd."""
+    return os.environ.get("REPRO_CACHE_DIR") or ".repro-cache"
+
+
+def _bench_to_json(b: BenchResult) -> dict:
+    return {f.name: _plain(getattr(b, f.name)) for f in dataclasses.fields(b)}
+
+
+def _bench_from_json(d: dict) -> BenchResult:
+    return BenchResult(**d)
+
+
+def _profile_to_json(p: Optional[LaunchProfile]) -> Optional[dict]:
+    if p is None:
+        return None
+    out = {}
+    for f in dataclasses.fields(p):
+        v = getattr(p, f.name)
+        if f.name == "caches":
+            v = {k: [st.hits, st.misses] for k, st in v.items()}
+        out[f.name] = _plain(v)
+    return out
+
+
+def _profile_from_json(d: Optional[dict]) -> Optional[LaunchProfile]:
+    if d is None:
+        return None
+    d = dict(d)
+    d["grid"] = tuple(d["grid"])
+    d["block"] = tuple(d["block"])
+    d["caches"] = {k: CacheStats(h, m) for k, (h, m) in d["caches"].items()}
+    return LaunchProfile(**d)
+
+
+def result_to_json(ur: UnitResult) -> dict:
+    return {
+        "unit": {
+            "benchmark": ur.unit.benchmark,
+            "api": ur.unit.api,
+            "device": ur.unit.device,
+            "size": ur.unit.size,
+            "options": [list(kv) for kv in ur.unit.options],
+        },
+        "bench": _bench_to_json(ur.bench),
+        "profile": _profile_to_json(ur.profile),
+        "seconds": float(ur.seconds),
+    }
+
+
+def result_from_json(payload: dict, cached: bool = False) -> UnitResult:
+    u = payload["unit"]
+    unit = WorkUnit(
+        benchmark=u["benchmark"],
+        api=u["api"],
+        device=u["device"],
+        size=u["size"],
+        options=tuple((k, v) for k, v in u["options"]),
+    )
+    return UnitResult(
+        unit=unit,
+        bench=_bench_from_json(payload["bench"]),
+        profile=_profile_from_json(payload["profile"]),
+        seconds=payload["seconds"],
+        cached=cached,
+    )
+
+
+class ResultCache:
+    """A content-addressed directory of unit results."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    def _path(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def get(self, digest: str) -> Optional[dict]:
+        try:
+            with open(self._path(digest)) as f:
+                return json.load(f)
+        except (OSError, ValueError):
+            return None
+
+    def put(self, digest: str, payload: dict) -> None:
+        path = self._path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w") as f:
+            json.dump(payload, f)
+        os.replace(tmp, path)
+
+    def __contains__(self, digest: str) -> bool:
+        return self._path(digest).exists()
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))

@@ -1,0 +1,202 @@
+"""The sweep execution engine: parallel fan-out + memoization.
+
+A :class:`SweepExecutor` serves work units through three layers:
+
+1. an in-process memo table (digest -> payload),
+2. an optional on-disk :class:`~repro.exec.cache.ResultCache`,
+3. actual simulation — sequentially, or fanned out over a
+   ``concurrent.futures.ProcessPoolExecutor`` when ``jobs > 1``.
+
+All results — hits and misses alike — are round-tripped through the
+JSON serialization layer, so the rendered reports are byte-identical
+whatever mix of cache hits, sequential runs, and parallel workers
+produced them.  If the process pool cannot be created or dies (no
+semaphores in a sandbox, fork bans, ...), the engine degrades to the
+sequential path and still completes the sweep.
+"""
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import sys
+import time
+from typing import Iterable, Optional, Sequence
+
+from .cache import ResultCache, result_from_json, result_to_json
+from .unit import UnitResult, WorkUnit, execute, unit_digest
+
+__all__ = ["SweepExecutor", "SweepStats", "UnitRecord"]
+
+
+@dataclasses.dataclass
+class UnitRecord:
+    """Per-unit accounting line: what ran, how it was served, how long."""
+
+    label: str
+    digest: str
+    seconds: float  # wall seconds spent serving this request
+    sim_seconds: float  # simulation seconds stored with the result
+    cached: bool
+    source: str  # "mem" | "disk" | "run"
+
+
+class SweepStats:
+    """Hit/miss counters + per-unit timings for one executor's lifetime."""
+
+    def __init__(self) -> None:
+        self.records: list[UnitRecord] = []
+
+    def record(
+        self, unit: WorkUnit, digest: str, seconds: float,
+        sim_seconds: float, source: str,
+    ) -> None:
+        self.records.append(
+            UnitRecord(
+                label=unit.label(), digest=digest, seconds=seconds,
+                sim_seconds=sim_seconds, cached=source != "run",
+                source=source,
+            )
+        )
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for r in self.records if r.cached)
+
+    @property
+    def misses(self) -> int:
+        return sum(1 for r in self.records if not r.cached)
+
+    @property
+    def sim_seconds(self) -> float:
+        return sum(r.sim_seconds for r in self.records if not r.cached)
+
+    def summary(self) -> dict:
+        """JSON-friendly roll-up (the CI build artifact)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "sim_seconds": self.sim_seconds,
+            "units": [dataclasses.asdict(r) for r in self.records],
+        }
+
+
+def _execute_payload(unit: WorkUnit) -> dict:
+    """Process-pool worker: simulate one unit, return its JSON payload."""
+    return result_to_json(execute(unit))
+
+
+class SweepExecutor:
+    """Memoizing, optionally parallel executor for sweep work units."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache=None,
+        memoize: bool = True,
+    ) -> None:
+        self.jobs = max(1, int(jobs))
+        if cache is not None and not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        self.cache: Optional[ResultCache] = cache
+        self.memoize = memoize
+        self.stats = SweepStats()
+        self._mem: dict = {}  # digest -> payload
+        self._digests: dict = {}  # WorkUnit -> digest
+
+    # -- lookup layers ----------------------------------------------------
+    def digest_of(self, unit: WorkUnit) -> str:
+        d = self._digests.get(unit)
+        if d is None:
+            d = self._digests[unit] = unit_digest(unit)
+        return d
+
+    def _lookup(self, digest: str):
+        """Returns ``(payload, source)``; payload None on a full miss."""
+        payload = self._mem.get(digest)
+        if payload is not None:
+            return payload, "mem"
+        if self.cache is not None:
+            payload = self.cache.get(digest)
+            if payload is not None:
+                if self.memoize:
+                    self._mem[digest] = payload
+                return payload, "disk"
+        return None, "run"
+
+    def _store(self, digest: str, payload: dict) -> None:
+        if self.memoize:
+            self._mem[digest] = payload
+        if self.cache is not None:
+            self.cache.put(digest, payload)
+
+    # -- serving ----------------------------------------------------------
+    def run_unit(self, unit: WorkUnit) -> UnitResult:
+        """Serve one unit: memo table, then disk cache, then simulate."""
+        t0 = time.perf_counter()
+        digest = self.digest_of(unit)
+        payload, source = self._lookup(digest)
+        if payload is None:
+            payload = _execute_payload(unit)
+            self._store(digest, payload)
+        self.stats.record(
+            unit, digest, time.perf_counter() - t0, payload["seconds"], source
+        )
+        return result_from_json(payload, cached=source != "run")
+
+    def run_units(self, units: Iterable[WorkUnit]) -> list[UnitResult]:
+        """Serve many units (prewarming misses in parallel first)."""
+        units = list(units)
+        self.prewarm(units)
+        return [self.run_unit(u) for u in units]
+
+    def prewarm(self, units: Sequence[WorkUnit], jobs: Optional[int] = None):
+        """Simulate every not-yet-cached unit, fanning out when asked.
+
+        Duplicates are deduplicated by digest; already-cached units cost
+        nothing.  Returns the number of units actually simulated.
+        """
+        jobs = self.jobs if jobs is None else max(1, int(jobs))
+        todo: dict = {}
+        for u in units:
+            d = self.digest_of(u)
+            if d in todo:
+                continue
+            payload, _ = self._lookup(d)
+            if payload is None:
+                todo[d] = u
+        if not todo:
+            return 0
+        if jobs > 1 and len(todo) > 1:
+            self._prewarm_parallel(todo, jobs)
+        # anything the pool could not produce runs sequentially
+        for d, u in todo.items():
+            if self._lookup(d)[0] is None:
+                t0 = time.perf_counter()
+                payload = _execute_payload(u)
+                self._store(d, payload)
+                self.stats.record(
+                    u, d, time.perf_counter() - t0, payload["seconds"], "run"
+                )
+        return len(todo)
+
+    def _prewarm_parallel(self, todo: dict, jobs: int) -> None:
+        workers = min(jobs, len(todo), 32)
+        try:
+            with concurrent.futures.ProcessPoolExecutor(workers) as pool:
+                futures = {
+                    pool.submit(_execute_payload, u): (d, u)
+                    for d, u in todo.items()
+                }
+                for fut in concurrent.futures.as_completed(futures):
+                    d, u = futures[fut]
+                    payload = fut.result()
+                    self._store(d, payload)
+                    self.stats.record(
+                        u, d, payload["seconds"], payload["seconds"], "run"
+                    )
+        except (OSError, concurrent.futures.BrokenExecutor, RuntimeError) as e:
+            print(
+                f"repro.exec: process pool unavailable ({e!r}); "
+                "falling back to sequential execution",
+                file=sys.stderr,
+            )

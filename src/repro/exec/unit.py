@@ -1,0 +1,176 @@
+"""Work units — the atoms of a sweep.
+
+The paper's methodology is a sweep: 16 benchmarks x 2 APIs x several
+devices and problem sizes (Figs. 1-8, Tables V-VI).  A
+:class:`WorkUnit` names one independent cell of that sweep — *one
+benchmark run under one API on one device at one size with one option
+set* — which is exactly the granularity at which runs can be fanned out
+over processes and memoized on disk.
+
+Every unit has a content-addressed :func:`unit_digest` over everything
+that determines its result: the rendered kernel sources (per dialect,
+after option/define resolution), the full :class:`DeviceSpec` including
+calibration constants, the launch configuration (problem-size
+parameters, resolved options, build defines), and the ``repro`` package
+version.  Any change to any of these invalidates exactly the affected
+units; nothing else does.
+"""
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import time
+from typing import Mapping, Optional
+
+from .._version import __version__
+from ..arch.specs import DeviceSpec, device_by_name
+from ..benchsuite.base import BenchResult, host_for
+from ..benchsuite.registry import get_benchmark
+from ..kir import pretty
+from ..kir.dialect import CUDA, OPENCL
+
+__all__ = [
+    "WorkUnit",
+    "UnitResult",
+    "make_unit",
+    "unit_fingerprint",
+    "unit_digest",
+    "execute",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkUnit:
+    """One (benchmark, api, device, size, options) cell of a sweep."""
+
+    benchmark: str
+    api: str  # "cuda" | "opencl"
+    device: str  # DeviceSpec.name
+    size: str = "default"
+    #: canonicalized option overrides: sorted ((key, value), ...) pairs
+    options: tuple = ()
+
+    @property
+    def spec(self) -> DeviceSpec:
+        return device_by_name(self.device)
+
+    def options_dict(self) -> Optional[dict]:
+        return dict(self.options) if self.options else None
+
+    def label(self) -> str:
+        opts = ",".join(f"{k}={v}" for k, v in self.options)
+        base = f"{self.benchmark}/{self.api}@{self.device}[{self.size}]"
+        return f"{base}{{{opts}}}" if opts else base
+
+
+@dataclasses.dataclass
+class UnitResult:
+    """What one executed (or cache-served) work unit produced."""
+
+    unit: WorkUnit
+    bench: BenchResult
+    #: aggregated :class:`~repro.prof.profile.LaunchProfile` of the run,
+    #: labeled ``"<benchmark>/<api>"``; None when nothing launched
+    profile: object
+    #: wall seconds the simulation took when it actually ran
+    seconds: float
+    #: True when served from the result cache instead of simulated
+    cached: bool = False
+
+
+def make_unit(
+    benchmark: str,
+    api: str,
+    device,
+    size: str = "default",
+    options: Optional[Mapping] = None,
+) -> WorkUnit:
+    """Build a canonical :class:`WorkUnit` (options sorted by key)."""
+    name = device.name if isinstance(device, DeviceSpec) else str(device)
+    canon = tuple(sorted((str(k), v) for k, v in (options or {}).items()))
+    return WorkUnit(
+        benchmark=str(benchmark), api=str(api), device=name, size=str(size),
+        options=canon,
+    )
+
+
+def _plain(v):
+    """Flatten a value into JSON-stable primitives."""
+    if isinstance(v, dict):
+        return {str(k): _plain(x) for k, x in sorted(v.items(), key=lambda i: str(i[0]))}
+    if isinstance(v, (list, tuple)):
+        return [_plain(x) for x in v]
+    if isinstance(v, (str, bool, int, float)) or v is None:
+        return v
+    if hasattr(v, "item"):  # numpy scalars
+        return v.item()
+    return repr(v)
+
+
+def unit_fingerprint(
+    unit: WorkUnit,
+    spec: Optional[DeviceSpec] = None,
+    version: Optional[str] = None,
+) -> dict:
+    """Everything that determines the unit's result, as a JSON payload.
+
+    ``spec``/``version`` overrides exist for tests that probe the
+    invalidation rules without editing global state.
+    """
+    spec = spec if spec is not None else unit.spec
+    bench = get_benchmark(unit.benchmark)
+    dialect = CUDA if unit.api == "cuda" else OPENCL
+    params = bench.sizes()[unit.size]
+    opts = bench.options_for(dialect, dict(unit.options))
+    defines = {"WARP_SIZE": spec.warp_width}
+    try:
+        sources = [
+            pretty.render(k, dialect)
+            for k in bench.kernels(dialect, opts, defines, params)
+        ]
+    except Exception as e:  # construction can hit device limits; still keyable
+        sources = [f"<kernel construction failed: {type(e).__name__}: {e}>"]
+    return {
+        "benchmark": unit.benchmark,
+        "api": unit.api,
+        "size": unit.size,
+        "device": _plain(dataclasses.asdict(spec)),
+        "params": _plain(params),
+        "options": _plain(opts),
+        "defines": _plain(defines),
+        "kernels": sources,
+        "version": version if version is not None else __version__,
+    }
+
+
+def digest_of_fingerprint(fp: Mapping) -> str:
+    blob = json.dumps(fp, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def unit_digest(
+    unit: WorkUnit,
+    spec: Optional[DeviceSpec] = None,
+    version: Optional[str] = None,
+) -> str:
+    """The unit's content address (sha256 hex)."""
+    return digest_of_fingerprint(unit_fingerprint(unit, spec=spec, version=version))
+
+
+def execute(unit: WorkUnit) -> UnitResult:
+    """Actually simulate one work unit (no caching at this layer)."""
+    from ..prof.collect import sim_device_of
+    from ..prof.profile import aggregate
+
+    bench = get_benchmark(unit.benchmark)
+    host = host_for(unit.api, unit.spec)
+    t0 = time.perf_counter()
+    result = bench.run(host, size=unit.size, options=unit.options_dict())
+    seconds = time.perf_counter() - t0
+    profile = aggregate(
+        sim_device_of(host).profiles, label=f"{bench.name}/{unit.api}"
+    )
+    return UnitResult(
+        unit=unit, bench=result, profile=profile, seconds=seconds, cached=False
+    )

@@ -9,14 +9,21 @@ from __future__ import annotations
 
 from ..arch.peak import theoretical_bandwidth_gbs
 from ..arch.specs import GTX280, GTX480
-from ..benchsuite.base import host_for
-from ..benchsuite.registry import get_benchmark
+from ..exec import make_unit, run_benchmark
 from .report import ExperimentResult
 
-__all__ = ["run"]
+__all__ = ["run", "units"]
 
 PAPER_FRACTION = {"GTX280": 0.686, "GTX480": 0.877}
 PAPER_OPENCL_ADVANTAGE = {"GTX280": 1.085, "GTX480": 1.024}
+
+
+def units(size: str = "default") -> list:
+    return [
+        make_unit("DeviceMemory", api, spec, size)
+        for spec in (GTX280, GTX480)
+        for api in ("cuda", "opencl")
+    ]
 
 
 def run(size: str = "default") -> ExperimentResult:
@@ -25,11 +32,11 @@ def run(size: str = "default") -> ExperimentResult:
         "Peak bandwidth comparison (DeviceMemory, work-group 256)",
         ["device", "TP_BW (GB/s)", "CUDA AP (GB/s)", "OpenCL AP (GB/s)", "OpenCL %TP", "OpenCL/CUDA"],
         [],
+        size=size,
     )
     for spec in (GTX280, GTX480):
-        bench = get_benchmark("DeviceMemory")
-        cuda = bench.run(host_for("cuda", spec), size=size)
-        ocl = bench.run(host_for("opencl", spec), size=size)
+        cuda = run_benchmark("DeviceMemory", "cuda", spec, size)
+        ocl = run_benchmark("DeviceMemory", "opencl", spec, size)
         tp = theoretical_bandwidth_gbs(spec)
         frac = ocl.value / tp
         adv = ocl.value / cuda.value
@@ -44,11 +51,14 @@ def run(size: str = "default") -> ExperimentResult:
             }
         )
         paper_f = PAPER_FRACTION[spec.name]
+        # a reduced working set cannot amortize launch ramp, so the
+        # achieved-fraction check only means something at full size
         res.check(
             f"{spec.name}: OpenCL reaches a similar fraction of TP",
             f"{100 * paper_f:.1f}%",
             f"{100 * frac:.1f}%",
             abs(frac - paper_f) < 0.12,
+            sizes=("default",),
         )
         res.check(
             f"{spec.name}: OpenCL not slower than CUDA",

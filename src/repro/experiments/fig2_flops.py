@@ -7,13 +7,20 @@ from __future__ import annotations
 
 from ..arch.peak import theoretical_flops_gfs
 from ..arch.specs import GTX280, GTX480
-from ..benchsuite.base import host_for
-from ..benchsuite.registry import get_benchmark
+from ..exec import make_unit, run_benchmark
 from .report import ExperimentResult
 
-__all__ = ["run"]
+__all__ = ["run", "units"]
 
 PAPER_FRACTION = {"GTX280": 0.715, "GTX480": 0.977}
+
+
+def units(size: str = "default") -> list:
+    return [
+        make_unit("MaxFlops", api, spec, size)
+        for spec in (GTX280, GTX480)
+        for api in ("cuda", "opencl")
+    ]
 
 
 def run(size: str = "default") -> ExperimentResult:
@@ -22,11 +29,11 @@ def run(size: str = "default") -> ExperimentResult:
         "Peak FLOPS comparison (MaxFlops; mul+mad on GT200, mad-only on Fermi)",
         ["device", "TP (GFlops)", "CUDA AP", "OpenCL AP", "OpenCL %TP", "OpenCL/CUDA"],
         [],
+        size=size,
     )
     for spec in (GTX280, GTX480):
-        bench = get_benchmark("MaxFlops")
-        cuda = bench.run(host_for("cuda", spec), size=size)
-        ocl = bench.run(host_for("opencl", spec), size=size)
+        cuda = run_benchmark("MaxFlops", "cuda", spec, size)
+        ocl = run_benchmark("MaxFlops", "opencl", spec, size)
         tp = theoretical_flops_gfs(spec)
         frac = ocl.value / tp
         res.add(
@@ -39,11 +46,14 @@ def run(size: str = "default") -> ExperimentResult:
                 "OpenCL/CUDA": ocl.value / cuda.value,
             }
         )
+        # short small-size kernels pay loop/setup overhead the full-size
+        # runs amortize, so the peak-fraction band is default-size only
         res.check(
             f"{spec.name}: achieved fraction of TP in band",
             f"{100 * PAPER_FRACTION[spec.name]:.1f}%",
             f"{100 * frac:.1f}%",
             abs(frac - PAPER_FRACTION[spec.name]) < 0.15,
+            sizes=("default",),
         )
         res.check(
             f"{spec.name}: CUDA and OpenCL near-equal",

@@ -10,9 +10,19 @@ from __future__ import annotations
 from ..arch.specs import GTX280, GTX480
 from ..benchsuite.registry import REAL_WORLD
 from ..core.comparison import compare
+from ..exec import make_unit
 from .report import ExperimentResult
 
-__all__ = ["run"]
+__all__ = ["run", "units"]
+
+
+def units(size: str = "default") -> list:
+    return [
+        make_unit(name, api, spec, size)
+        for name in REAL_WORLD
+        for spec in (GTX280, GTX480)
+        for api in ("cuda", "opencl")
+    ]
 
 #: the paper's qualitative expectations per benchmark (GTX280, GTX480)
 PAPER_SHAPE = {
@@ -28,6 +38,7 @@ def run(size: str = "default") -> ExperimentResult:
         "Performance Ratio (OpenCL/CUDA) for all real-world benchmarks",
         ["benchmark", "PR GTX280", "PR GTX480", "verdict GTX280", "verdict GTX480"],
         [],
+        size=size,
     )
     prs = {}
     for name in REAL_WORLD:

@@ -9,9 +9,20 @@ from __future__ import annotations
 from ..arch.specs import GTX280, GTX480
 from ..core.comparison import compare
 from ..core.metrics import SIMILARITY_BAND
+from ..exec import make_unit
 from .report import ExperimentResult
 
-__all__ = ["run"]
+__all__ = ["run", "units"]
+
+
+def units(size: str = "default") -> list:
+    out = []
+    for name in ("MD", "SPMV"):
+        for spec in (GTX280, GTX480):
+            out.append(make_unit(name, "cuda", spec, size))
+            out.append(make_unit(name, "cuda", spec, size, {"use_texture": False}))
+            out.append(make_unit(name, "opencl", spec, size))
+    return out
 
 
 def run(size: str = "default") -> ExperimentResult:
@@ -20,6 +31,7 @@ def run(size: str = "default") -> ExperimentResult:
         "PR before/after removing texture memory from CUDA (MD, SPMV)",
         ["benchmark", "device", "PR before", "PR after", "after in band?"],
         [],
+        size=size,
     )
     for name in ("MD", "SPMV"):
         for spec in (GTX280, GTX480):

@@ -6,13 +6,20 @@ to 85.1% (GTX280) / 82.6% (GTX480) of the pragma'd version.
 from __future__ import annotations
 
 from ..arch.specs import GTX280, GTX480
-from ..benchsuite.base import host_for
-from ..benchsuite.registry import get_benchmark
+from ..exec import make_unit, run_benchmark
 from .report import ExperimentResult
 
-__all__ = ["run"]
+__all__ = ["run", "units"]
 
 PAPER_RETENTION = {"GTX280": 0.851, "GTX480": 0.826}
+
+
+def units(size: str = "default") -> list:
+    return [
+        make_unit("FDTD", "cuda", spec, size, {"unroll_a": a})
+        for spec in (GTX280, GTX480)
+        for a in (9, None)
+    ]
 
 
 def run(size: str = "default") -> ExperimentResult:
@@ -21,15 +28,11 @@ def run(size: str = "default") -> ExperimentResult:
         "FDTD (CUDA) with vs without #pragma unroll at point a",
         ["device", "with a (MPts/s)", "without a", "retention", "paper retention"],
         [],
+        size=size,
     )
     for spec in (GTX280, GTX480):
-        bench = get_benchmark("FDTD")
-        with_a = bench.run(
-            host_for("cuda", spec), size=size, options={"unroll_a": 9}
-        )
-        wo_a = bench.run(
-            host_for("cuda", spec), size=size, options={"unroll_a": None}
-        )
+        with_a = run_benchmark("FDTD", "cuda", spec, size, {"unroll_a": 9})
+        wo_a = run_benchmark("FDTD", "cuda", spec, size, {"unroll_a": None})
         retention = wo_a.value / with_a.value
         res.add(
             device=spec.name,

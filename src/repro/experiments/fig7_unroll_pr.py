@@ -12,11 +12,21 @@ from __future__ import annotations
 
 from ..arch.specs import GTX280, GTX480
 from ..core.comparison import compare
+from ..exec import make_unit
 from .report import ExperimentResult
 
-__all__ = ["run"]
+__all__ = ["run", "units"]
 
 PAPER_AB_RATIO = {"GTX280": 0.483, "GTX480": 0.661}
+
+
+def units(size: str = "default") -> list:
+    return [
+        make_unit("FDTD", api, spec, size, {"unroll_a": a})
+        for spec in (GTX280, GTX480)
+        for api in ("cuda", "opencl")
+        for a in (9, None)
+    ]
 
 
 def run(size: str = "default") -> ExperimentResult:
@@ -25,6 +35,7 @@ def run(size: str = "default") -> ExperimentResult:
         "FDTD unrolled at different points (PR per group)",
         ["group", "device", "CUDA (MPts/s)", "OpenCL (MPts/s)", "PR"],
         [],
+        size=size,
     )
     groups = {
         "b only (both)": ({"unroll_a": None}, {"unroll_a": None}),

@@ -8,11 +8,19 @@ Fermi L1/L2 catch the filter reads anyway.
 from __future__ import annotations
 
 from ..arch.specs import GTX280, GTX480
-from ..benchsuite.base import host_for
-from ..benchsuite.registry import get_benchmark
+from ..exec import make_unit, run_benchmark
 from .report import ExperimentResult
 
-__all__ = ["run"]
+__all__ = ["run", "units"]
+
+
+def units(size: str = "default") -> list:
+    return [
+        make_unit("Sobel", api, spec, size, {"use_constant": c})
+        for api in ("cuda", "opencl")
+        for spec in (GTX280, GTX480)
+        for c in (True, False)
+    ]
 
 
 def run(size: str = "default") -> ExperimentResult:
@@ -21,16 +29,16 @@ def run(size: str = "default") -> ExperimentResult:
         "Sobel kernel time with/without constant memory (both APIs)",
         ["api", "device", "const (us)", "no const (us)", "speedup from const"],
         [],
+        size=size,
     )
     speedups = {}
     for api in ("cuda", "opencl"):
         for spec in (GTX280, GTX480):
-            bench = get_benchmark("Sobel")
-            with_c = bench.run(
-                host_for(api, spec), size=size, options={"use_constant": True}
+            with_c = run_benchmark(
+                "Sobel", api, spec, size, {"use_constant": True}
             )
-            wo_c = bench.run(
-                host_for(api, spec), size=size, options={"use_constant": False}
+            wo_c = run_benchmark(
+                "Sobel", api, spec, size, {"use_constant": False}
             )
             speedup = wo_c.kernel_seconds / with_c.kernel_seconds
             speedups[(api, spec.name)] = speedup

@@ -31,14 +31,37 @@ class ExperimentResult:
     notes: list = dataclasses.field(default_factory=list)
     #: free-form paper-vs-measured records for EXPERIMENTS.md
     checks: list = dataclasses.field(default_factory=list)
+    #: the problem size this result was generated at (size-aware checks)
+    size: str = "default"
 
     def add(self, **row) -> None:
         self.rows.append(row)
 
-    def check(self, what: str, paper, measured, holds: bool) -> None:
+    def check(
+        self, what: str, paper, measured, holds: bool, sizes=None
+    ) -> None:
+        """Record one shape check against the paper.
+
+        ``sizes`` names the problem sizes the check is meaningful at;
+        at other sizes it renders as SKIP (an expected miss — e.g. a
+        bandwidth fraction that a reduced working set cannot reach) and
+        does not count as a failure.  ``None`` means valid at any size.
+        """
         self.checks.append(
-            {"what": what, "paper": paper, "measured": measured, "holds": holds}
+            {
+                "what": what,
+                "paper": paper,
+                "measured": measured,
+                "holds": holds,
+                "skipped": sizes is not None and self.size not in sizes,
+            }
         )
+
+    def failed_checks(self) -> list:
+        """Checks that did not hold and were valid at this size."""
+        return [
+            c for c in self.checks if not c["holds"] and not c.get("skipped")
+        ]
 
     def render(self) -> str:
         widths = {
@@ -58,10 +81,13 @@ class ExperimentResult:
             lines.append("")
             lines.append("shape checks vs paper:")
             for c in self.checks:
-                mark = "PASS" if c["holds"] else "MISS"
+                if c.get("skipped"):
+                    mark, suffix = "SKIP", f" (not valid at size={self.size})"
+                else:
+                    mark, suffix = ("PASS" if c["holds"] else "MISS"), ""
                 lines.append(
                     f"  [{mark}] {c['what']}: paper={c['paper']} "
-                    f"measured={c['measured']}"
+                    f"measured={c['measured']}{suffix}"
                 )
         for n in self.notes:
             lines.append(f"note: {n}")

@@ -3,17 +3,30 @@
 Usage::
 
     python -m repro.experiments fig1 [fig3 ...] [--size small|default]
-    python -m repro.experiments all --size default
+    python -m repro.experiments all --size default --jobs 4
+
+Every experiment decomposes into independent work units (one per
+benchmark x device x API x config) that are prewarmed through the
+:mod:`repro.exec` sweep engine: ``--jobs N`` fans cold units out over N
+worker processes, and results are memoized in a content-addressed cache
+(``--cache-dir``, default ``$REPRO_CACHE_DIR`` or ``.repro-cache``) so
+warm reruns skip simulation entirely.  Rendered reports go to stdout
+and are byte-identical whatever mix of cache hits and parallel workers
+produced them; timings and the sweep summary go to stderr.
+
+Exits non-zero when any shape check valid at the requested size fails.
 """
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
+from .. import exec as rexec
 from . import EXPERIMENTS
 
-__all__ = ["main", "run_experiment"]
+__all__ = ["main", "run_experiment", "collect_units", "build_executor"]
 
 
 def run_experiment(name: str, size: str = "default"):
@@ -24,6 +37,63 @@ def run_experiment(name: str, size: str = "default"):
             f"unknown experiment {name!r}; available: {', '.join(EXPERIMENTS)}"
         )
     return mod.run(size=size)
+
+
+def collect_units(names, size: str) -> list:
+    """Every work unit the named experiments will request, in order."""
+    units = []
+    for name in names:
+        units += getattr(EXPERIMENTS[name], "units", lambda size: [])(size)
+    return units
+
+
+def add_sweep_arguments(ap: argparse.ArgumentParser) -> None:
+    """The sweep-engine flags shared by the experiment-facing CLIs."""
+    ap.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan cold work units out over N worker processes",
+    )
+    ap.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    ap.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache for this run",
+    )
+    ap.add_argument(
+        "--sweep-report", action="store_true",
+        help="print the per-unit timing + cache hit/miss table (stderr)",
+    )
+    ap.add_argument(
+        "--sweep-json", default=None, metavar="FILE",
+        help="write the sweep summary (per-unit timings, hit/miss) as JSON",
+    )
+
+
+def build_executor(args) -> rexec.SweepExecutor:
+    cache = None
+    if not args.no_cache:
+        cache = args.cache_dir or rexec.default_cache_dir()
+    return rexec.SweepExecutor(jobs=args.jobs, cache=cache)
+
+
+def finish_sweep(args, executor: rexec.SweepExecutor) -> None:
+    """Emit the sweep accounting the way the caller asked for it."""
+    st = executor.stats
+    if st.records:
+        print(
+            f"sweep: {len(st.records)} unit requests, {st.hits} cache hits, "
+            f"{st.misses} simulated ({st.sim_seconds:.1f}s simulation)",
+            file=sys.stderr,
+        )
+    if args.sweep_report and st.records:
+        from ..prof.report import render_sweep
+
+        print(render_sweep(st), file=sys.stderr)
+    if args.sweep_json:
+        with open(args.sweep_json, "w") as f:
+            json.dump(st.summary(), f, indent=2)
 
 
 def main(argv=None) -> int:
@@ -37,19 +107,29 @@ def main(argv=None) -> int:
         help=f"one or more of: {', '.join(EXPERIMENTS)}, or 'all'",
     )
     ap.add_argument("--size", default="default", choices=["small", "default"])
+    add_sweep_arguments(ap)
     args = ap.parse_args(argv)
 
     names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
-    failures = 0
     for name in names:
-        t0 = time.time()
-        res = run_experiment(name, size=args.size)
-        print(res.render())
-        print(f"({time.time() - t0:.1f}s)")
-        print()
-        failures += sum(1 for c in res.checks if not c["holds"])
+        if name not in EXPERIMENTS:
+            raise SystemExit(
+                f"unknown experiment {name!r}; available: {', '.join(EXPERIMENTS)}"
+            )
+    failures = 0
+    with rexec.use_executor(build_executor(args)) as ex:
+        ex.prewarm(collect_units(names, args.size))
+        for name in names:
+            t0 = time.time()
+            res = run_experiment(name, size=args.size)
+            print(res.render())
+            print()
+            print(f"({name}: {time.time() - t0:.1f}s)", file=sys.stderr)
+            failures += len(res.failed_checks())
+        finish_sweep(args, ex)
     if failures:
         print(f"{failures} shape check(s) did not hold", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -19,7 +19,12 @@ from ..ptx.isa import IClass
 from ..ptx.stats import class_totals, histogram, table
 from .report import ExperimentResult
 
-__all__ = ["run", "compiled_pair"]
+__all__ = ["run", "units", "compiled_pair"]
+
+
+def units(size: str = "default") -> list:
+    """Table V is a pure compile-time measurement: no sweep units."""
+    return []
 
 
 def compiled_pair(max_regs: int = 124):
@@ -39,6 +44,7 @@ def run(size: str = "default") -> ExperimentResult:
         ["class", "CUDA", "OpenCL"],
         [],
         notes=[table(kc, ko)],
+        size=size,
     )
     for klass in (
         IClass.ARITHMETIC,

@@ -15,14 +15,24 @@ Paper behaviours to reproduce:
 from __future__ import annotations
 
 from ..arch.specs import CELLBE, HD5870, INTEL920
-from ..benchsuite.base import host_for
 from ..benchsuite.registry import REAL_WORLD, get_benchmark
+from ..exec import make_unit, run_benchmark
 from .report import ExperimentResult
 
-__all__ = ["run"]
+__all__ = ["run", "units"]
 
 PAPER_ABT_CELL = {"FFT", "DXTC", "RdxS", "STNW"}
 PAPER_FL = {("RdxS", "HD5870"), ("RdxS", "Intel920")}
+
+
+def units(size: str = "default") -> list:
+    out = [
+        make_unit(name, "opencl", spec, size)
+        for name in REAL_WORLD
+        for spec in (HD5870, INTEL920, CELLBE)
+    ]
+    out.append(make_unit("TranP", "opencl", INTEL920, size, {"use_local": False}))
+    return out
 
 
 def run(size: str = "default") -> ExperimentResult:
@@ -32,12 +42,13 @@ def run(size: str = "default") -> ExperimentResult:
         "Performance data on prevailing platforms (OpenCL)",
         ["benchmark", "unit"] + [d.name for d in devices],
         [],
+        size=size,
     )
     cells: dict = {}
     for name in REAL_WORLD:
         row = {"benchmark": name, "unit": get_benchmark(name).metric.unit}
         for spec in devices:
-            r = get_benchmark(name).run(host_for("opencl", spec), size=size)
+            r = run_benchmark(name, "opencl", spec, size)
             if r.failure == "ABT":
                 row[spec.name] = "ABT"
             elif not r.correct:
@@ -73,10 +84,9 @@ def run(size: str = "default") -> ExperimentResult:
         ok_runs >= len(cells) - 7,
     )
     # TranP local-memory ablation on the CPU device (paper §V):
-    tranp = get_benchmark("TranP")
-    with_local = tranp.run(host_for("opencl", INTEL920), size=size)
-    without = tranp.run(
-        host_for("opencl", INTEL920), size=size, options={"use_local": False}
+    with_local = run_benchmark("TranP", "opencl", INTEL920, size)
+    without = run_benchmark(
+        "TranP", "opencl", INTEL920, size, {"use_local": False}
     )
     res.check(
         "TranP on Intel920: explicit local memory is pure overhead",

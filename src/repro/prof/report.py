@@ -11,7 +11,7 @@ from typing import Iterable, Optional, Sequence
 
 from .profile import LaunchProfile, aggregate
 
-__all__ = ["render_profile", "render_run"]
+__all__ = ["render_profile", "render_run", "render_sweep"]
 
 #: Table-V class display order
 _CLASS_ORDER = [
@@ -127,4 +127,35 @@ def render_run(
         )
     agg = aggregate(profiles, label=f"{title} (aggregate)")
     lines += ["", render_profile(agg, title=f"{title} aggregate")]
+    return "\n".join(lines)
+
+
+def render_sweep(stats, title: str = "sweep") -> str:
+    """Per-unit timing + cache hit/miss table for a sweep execution.
+
+    ``stats`` is a :class:`repro.exec.SweepStats`; this lives on the
+    profiler's report path so the sweep engine's accounting renders in
+    the same ASCII style as the launch profiles it summarizes.
+    """
+    recs = list(stats.records)
+    if not recs:
+        return f"== {title}: no work units served =="
+    width = max(24, max(len(r.label) for r in recs))
+    head = f"{'unit':<{width}} {'served':>8} {'sim time':>12} {'digest':>10}"
+    lines = [
+        f"== {title}: {len(recs)} unit request(s), {stats.hits} hit(s), "
+        f"{stats.misses} simulated ==",
+        head,
+        "-" * len(head),
+    ]
+    for r in recs:
+        lines.append(
+            f"{r.label:<{width}} {r.source:>8} {_fmt_s(r.sim_seconds):>12} "
+            f"{r.digest[:8]:>10}"
+        )
+    lines.append("-" * len(head))
+    lines.append(
+        f"{'total simulation time':<{width}} {'':>8} "
+        f"{_fmt_s(stats.sim_seconds):>12} {'':>10}"
+    )
     return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Golden test: the EXPERIMENTS.md index table regenerates exactly.
+
+Re-runs the full experiment suite at the default size through the sweep
+engine and compares the regenerated index table (experiment, paper
+content, check counts) against the committed ``EXPERIMENTS.md``.  Any
+simulator change that flips a shape check shows up here as a diff
+against the committed document.
+
+Results are cached in the repo-local ``.repro-cache`` (gitignored), so
+only the first run on a fresh checkout pays for the full sweep; reruns
+are served from disk.  ``REPRO_JOBS`` sets the cold-run fan-out.
+"""
+import os
+import re
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+_INDEX_ROW = re.compile(r"^\| (?:fig|table)\w+ \|")
+
+
+def index_rows(text):
+    return [l for l in text.splitlines() if _INDEX_ROW.match(l)]
+
+
+def test_experiments_md_index_table_is_current():
+    from repro import exec as rexec
+    from repro.experiments.paperdoc import generate
+
+    committed = index_rows((REPO / "EXPERIMENTS.md").read_text())
+    assert len(committed) == 10, "committed EXPERIMENTS.md lost its index"
+
+    jobs = int(os.environ.get("REPRO_JOBS", "1"))
+    ex = rexec.SweepExecutor(jobs=jobs, cache=REPO / ".repro-cache")
+    with rexec.use_executor(ex):
+        regenerated = index_rows(generate(size="default"))
+    assert regenerated == committed
