@@ -14,6 +14,7 @@ import argparse
 
 from .. import exec as rexec
 from ..arch.specs import ALL_DEVICES
+from ..errors import UnitFailed
 from .registry import REAL_WORLD, REGISTRY, SYNTHETIC
 
 
@@ -39,6 +40,14 @@ def main(argv=None) -> int:
         "--no-cache", action="store_true",
         help="disable the on-disk result cache for this run",
     )
+    ap.add_argument(
+        "--timeout", type=float, default=None, metavar="SEC",
+        help="cut any single work unit off after SEC wall-clock seconds",
+    )
+    ap.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="retry a unit up to N times on transient failures (default 2)",
+    )
     args = ap.parse_args(argv)
 
     names = (SYNTHETIC + REAL_WORLD) if args.all else args.names
@@ -51,7 +60,9 @@ def main(argv=None) -> int:
         apis = ["opencl"]
 
     cache = None if args.no_cache else (args.cache_dir or rexec.default_cache_dir())
-    executor = rexec.SweepExecutor(jobs=args.jobs, cache=cache)
+    executor = rexec.SweepExecutor(
+        jobs=args.jobs, cache=cache, timeout=args.timeout, retries=args.retries
+    )
     units = [
         rexec.make_unit(name, api, spec, args.size)
         for name in names
@@ -65,7 +76,17 @@ def main(argv=None) -> int:
     with rexec.use_executor(executor):
         executor.prewarm(units)
         for unit in units:
-            r = executor.run_unit(unit).bench
+            try:
+                r = executor.run_unit(unit).bench
+            except UnitFailed as e:
+                # terminal engine failure (crash/timeout/...): one row,
+                # not a dead CLI — the remaining units still run
+                rc = 1
+                print(
+                    f"{unit.benchmark:10s} {unit.api:7s} {'-':>12s} {'-':14s} "
+                    f"{'-':>10s} {e.kind.value:6s}"
+                )
+                continue
             status = "ok" if r.ok() else (r.failure or "FL")
             if not r.ok():
                 rc = 1
@@ -77,6 +98,10 @@ def main(argv=None) -> int:
                 f"{unit.benchmark:10s} {unit.api:7s} {val:>12s} {r.unit:14s} "
                 f"{kern:>10s} {status:6s}"
             )
+        if executor.stats.failures:
+            from ..prof.report import render_failures
+
+            print(render_failures(executor.stats))
     return rc
 
 

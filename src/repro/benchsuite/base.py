@@ -18,6 +18,7 @@ from typing import Callable, Mapping, Optional, Sequence
 import numpy as np
 
 from ..arch.specs import DeviceSpec
+from ..errors import FailureKind, classify
 from ..kir.dialect import CUDA, Dialect, OPENCL
 from ..kir.stmt import Kernel as KirKernel
 from ..kir.types import Scalar
@@ -266,15 +267,27 @@ class Benchmark(abc.ABC):
         try:
             api.build(kerns, defines)
         except (cl.CLError, CudaError) as e:
-            return self._failure(api, getattr(e, "code", str(e)))
+            return self._failure(api, e)
         try:
             return self.host_run(api, params, opts)
         except (cl.CLError, CudaError) as e:
-            code = getattr(e, "code", "")
-            tag = "ABT" if "OUT_OF_RESOURCES" in str(e) or "OUT_OF_RESOURCES" in str(code) else str(e)
-            return self._failure(api, tag)
+            return self._failure(api, e)
 
-    def _failure(self, api: HostAPI, tag: str) -> BenchResult:
+    def _failure(self, api: HostAPI, err) -> BenchResult:
+        """Record a failed run, classifying the error structurally.
+
+        Resource aborts (``repro.errors.classify(err) is ABT``) keep the
+        paper's byte-compatible "ABT" tag; everything else surfaces its
+        driver error code.  ``err`` may also be a pre-computed tag
+        string for benchmarks that detect failure without an exception.
+        """
+        if isinstance(err, BaseException):
+            if classify(err) is FailureKind.ABT:
+                tag = "ABT"
+            else:
+                tag = str(getattr(err, "code", None) or err)
+        else:
+            tag = str(err)
         return BenchResult(
             benchmark=self.name,
             api=api.api_name,
@@ -285,7 +298,7 @@ class Benchmark(abc.ABC):
             wall_seconds=float("nan"),
             launches=0,
             correct=False,
-            failure="ABT" if "OUT_OF_RESOURCES" in tag or tag == "ABT" else tag,
+            failure=tag,
         )
 
     def result(

@@ -1,0 +1,184 @@
+"""Typed failure taxonomy for the whole execution stack.
+
+The paper's portability study (Table VI) is a failure-mode taxonomy:
+"ABT" rows abort at enqueue with ``CL_OUT_OF_RESOURCES``; "FL" rows run
+to completion with wrong results (the baked-in warp-size assumption).
+This module makes those — and the operational failure modes of the
+sweep engine itself (timeouts, worker crashes, cache corruption,
+transient faults) — first-class typed exceptions, and provides
+:func:`classify` as the single place that maps any exception onto a
+:class:`FailureKind`.
+
+Classification is structural, never textual: it reads the ``code``
+attribute driver-style errors carry (``CLError``, ``LaunchFailure``)
+and walks the ``__cause__`` chain, instead of substring-matching
+stringified exceptions.
+
+The module is a leaf: it imports nothing from the rest of ``repro`` so
+every layer (sim, runtime, benchsuite, exec, faults) can depend on it.
+"""
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+__all__ = [
+    "FailureKind",
+    "ReproError",
+    "ResourceError",
+    "ValidationError",
+    "TransientError",
+    "UnitTimeout",
+    "WorkerCrash",
+    "CacheCorruptionError",
+    "UnitFailed",
+    "ABORT_CODES",
+    "classify",
+    "is_injected",
+]
+
+
+class FailureKind(enum.Enum):
+    """How a work unit (or a single launch) failed.
+
+    ``ABT``/``FL`` are the paper's Table VI rows; the rest are the
+    operational kinds the fault-tolerant engine distinguishes.
+    """
+
+    ABT = "ABT"  # aborted at enqueue: resource limits (CL_OUT_OF_RESOURCES)
+    FL = "FL"  # functional loss: completed with wrong results
+    TRANSIENT = "TRANSIENT"  # retryable fault (spurious I/O, flaky worker)
+    TIMEOUT = "TIMEOUT"  # unit exceeded its wall-clock budget
+    CRASH = "CRASH"  # worker process died (signal, os._exit, OOM kill)
+    CACHE = "CACHE"  # on-disk result entry corrupt / wrong schema
+    ERROR = "ERROR"  # anything else
+
+
+#: driver error codes that mean "aborted for lack of device resources" —
+#: the structural equivalent of Table VI's "ABT"
+ABORT_CODES = frozenset(
+    {
+        "CL_OUT_OF_RESOURCES",
+        "CL_MEM_OBJECT_ALLOCATION_FAILURE",
+        "CUDA_ERROR_OUT_OF_RESOURCES",
+        "cudaErrorLaunchOutOfResources",
+    }
+)
+
+
+class ReproError(RuntimeError):
+    """Base of the typed hierarchy.
+
+    ``code`` is the structured driver error code when one exists;
+    ``kind`` is the default classification for the class (instances may
+    override).  ``injected`` marks faults planted by ``repro.faults``.
+    """
+
+    kind: FailureKind = FailureKind.ERROR
+    injected: bool = False
+
+    def __init__(self, message: str = "", code: Optional[str] = None):
+        super().__init__(message)
+        self.code = code
+
+
+class ResourceError(ReproError):
+    """Launch rejected for lack of device resources — Table VI "ABT"."""
+
+    kind = FailureKind.ABT
+
+    def __init__(self, message: str = "", code: str = "CL_OUT_OF_RESOURCES"):
+        super().__init__(message, code=code)
+
+
+class ValidationError(ReproError):
+    """Ran to completion but produced wrong results — Table VI "FL"."""
+
+    kind = FailureKind.FL
+
+
+class TransientError(ReproError):
+    """A fault worth retrying (the engine applies bounded backoff)."""
+
+    kind = FailureKind.TRANSIENT
+
+
+class UnitTimeout(ReproError):
+    """A work unit exceeded its wall-clock budget and was cut off."""
+
+    kind = FailureKind.TIMEOUT
+
+    def __init__(self, message: str = "", seconds: Optional[float] = None):
+        super().__init__(message)
+        self.seconds = seconds
+
+
+class WorkerCrash(ReproError):
+    """The process executing a unit died without reporting a result."""
+
+    kind = FailureKind.CRASH
+
+
+class CacheCorruptionError(ReproError):
+    """An on-disk result entry is unparseable or fails schema checks."""
+
+    kind = FailureKind.CACHE
+
+    def __init__(self, message: str = "", path=None):
+        super().__init__(message)
+        self.path = path
+
+
+class UnitFailed(ReproError):
+    """Raised when a unit is served from the engine's failure record.
+
+    Carries the classified kind of the underlying failure so callers
+    can render it without re-deriving; repeated requests for a
+    quarantined unit raise this instead of re-executing the poison.
+    """
+
+    def __init__(
+        self,
+        label: str,
+        kind: FailureKind,
+        message: str = "",
+        injected: bool = False,
+    ):
+        super().__init__(f"{label}: {kind.value}: {message}")
+        self.label = label
+        self.kind = kind
+        self.injected = injected
+
+
+def classify(exc: BaseException) -> FailureKind:
+    """Map any exception onto a :class:`FailureKind`.
+
+    Precedence: an explicit ``kind`` carried by a typed error, then a
+    structured ``code`` attribute matching :data:`ABORT_CODES`, then the
+    same checks down the ``__cause__``/``__context__`` chain.  Unknown
+    exceptions classify as :attr:`FailureKind.ERROR` — never by
+    substring-matching the message.
+    """
+    seen: set = set()
+    e: Optional[BaseException] = exc
+    while e is not None and id(e) not in seen:
+        seen.add(id(e))
+        kind = getattr(e, "kind", None)
+        if isinstance(kind, FailureKind) and kind is not FailureKind.ERROR:
+            return kind
+        if getattr(e, "code", None) in ABORT_CODES:
+            return FailureKind.ABT
+        e = e.__cause__ if e.__cause__ is not None else e.__context__
+    return FailureKind.ERROR
+
+
+def is_injected(exc: BaseException) -> bool:
+    """True when the exception (or its cause) was planted by repro.faults."""
+    seen: set = set()
+    e: Optional[BaseException] = exc
+    while e is not None and id(e) not in seen:
+        seen.add(id(e))
+        if getattr(e, "injected", False):
+            return True
+        e = e.__cause__ if e.__cause__ is not None else e.__context__
+    return False

@@ -21,8 +21,15 @@ from __future__ import annotations
 import contextlib
 from typing import Mapping, Optional
 
-from .cache import ResultCache, default_cache_dir, result_from_json, result_to_json
-from .engine import SweepExecutor, SweepStats, UnitRecord
+from .cache import (
+    SCHEMA_VERSION,
+    ResultCache,
+    default_cache_dir,
+    result_from_json,
+    result_to_json,
+    validate_payload,
+)
+from .engine import FailedUnit, SweepExecutor, SweepStats, UnitRecord
 from .unit import (
     UnitResult,
     WorkUnit,
@@ -43,9 +50,12 @@ __all__ = [
     "default_cache_dir",
     "result_to_json",
     "result_from_json",
+    "validate_payload",
+    "SCHEMA_VERSION",
     "SweepExecutor",
     "SweepStats",
     "UnitRecord",
+    "FailedUnit",
     "active",
     "use_executor",
     "run_unit",

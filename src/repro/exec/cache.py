@@ -8,17 +8,25 @@ Serialization is also the normalization layer: the engine round-trips
 *every* result — fresh or cached — through :func:`result_to_json` /
 :func:`result_from_json`, so a cache hit is byte-identical to a fresh
 simulation by construction (the property ``tests/exec`` asserts).
+
+Loads are defensive: every entry is schema-versioned and validated by
+:func:`validate_payload` before it is served.  An entry that fails to
+parse or validate — a torn write, a stale format, a hand-edited file —
+is treated as a cache *miss* and moved to ``<root>/quarantine/`` (with
+a ``.reason`` sidecar) instead of crashing the sweep.
 """
 from __future__ import annotations
 
 import dataclasses
 import json
 import os
+import sys
 from pathlib import Path
 from typing import Optional
 
 from ..arch.caches import CacheStats
 from ..benchsuite.base import BenchResult
+from ..errors import CacheCorruptionError
 from ..prof.profile import LaunchProfile
 from .unit import UnitResult, WorkUnit, _plain
 
@@ -26,8 +34,17 @@ __all__ = [
     "ResultCache",
     "result_to_json",
     "result_from_json",
+    "validate_payload",
     "default_cache_dir",
+    "SCHEMA_VERSION",
 ]
+
+#: bump whenever the payload layout changes; mismatched entries are
+#: quarantined rather than misinterpreted
+SCHEMA_VERSION = 2
+
+_REQUIRED_KEYS = frozenset({"schema", "unit", "bench", "profile", "seconds"})
+_UNIT_KEYS = frozenset({"benchmark", "api", "device", "size", "options"})
 
 
 def default_cache_dir() -> str:
@@ -65,8 +82,36 @@ def _profile_from_json(d: Optional[dict]) -> Optional[LaunchProfile]:
     return LaunchProfile(**d)
 
 
+def validate_payload(payload) -> None:
+    """Reject malformed-but-parseable payloads before they are served.
+
+    Raises :class:`~repro.errors.CacheCorruptionError`; the cache maps
+    that to miss-and-quarantine, so ``result_from_json`` only ever sees
+    payloads with the full required shape.
+    """
+    if not isinstance(payload, dict):
+        raise CacheCorruptionError(
+            f"payload is {type(payload).__name__}, not an object"
+        )
+    missing = _REQUIRED_KEYS - payload.keys()
+    if missing:
+        raise CacheCorruptionError(f"missing keys: {sorted(missing)}")
+    if payload["schema"] != SCHEMA_VERSION:
+        raise CacheCorruptionError(
+            f"schema version {payload['schema']!r} != {SCHEMA_VERSION}"
+        )
+    unit = payload["unit"]
+    if not isinstance(unit, dict) or _UNIT_KEYS - unit.keys():
+        raise CacheCorruptionError("unit block malformed")
+    if not isinstance(payload["bench"], dict):
+        raise CacheCorruptionError("bench block malformed")
+    if not isinstance(payload["seconds"], (int, float)):
+        raise CacheCorruptionError("seconds is not a number")
+
+
 def result_to_json(ur: UnitResult) -> dict:
     return {
+        "schema": SCHEMA_VERSION,
         "unit": {
             "benchmark": ur.unit.benchmark,
             "api": ur.unit.api,
@@ -81,6 +126,7 @@ def result_to_json(ur: UnitResult) -> dict:
 
 
 def result_from_json(payload: dict, cached: bool = False) -> UnitResult:
+    validate_payload(payload)
     u = payload["unit"]
     unit = WorkUnit(
         benchmark=u["benchmark"],
@@ -107,12 +153,49 @@ class ResultCache:
     def _path(self, digest: str) -> Path:
         return self.root / digest[:2] / f"{digest}.json"
 
+    def path_for(self, digest: str) -> Path:
+        """Where the entry for ``digest`` lives (whether or not it exists)."""
+        return self._path(digest)
+
     def get(self, digest: str) -> Optional[dict]:
+        path = self._path(digest)
         try:
-            with open(self._path(digest)) as f:
-                return json.load(f)
-        except (OSError, ValueError):
+            with open(path) as f:
+                payload = json.load(f)
+        except OSError:
             return None
+        except ValueError as e:
+            self.quarantine(digest, f"unparseable JSON: {e}")
+            return None
+        try:
+            validate_payload(payload)
+        except CacheCorruptionError as e:
+            self.quarantine(digest, str(e))
+            return None
+        return payload
+
+    def quarantine(self, digest: str, reason: str) -> Optional[Path]:
+        """Move a corrupt entry to ``<root>/quarantine/`` (miss, not crash).
+
+        The entry is preserved for post-mortem next to a ``.reason``
+        sidecar; the next lookup of the digest is a clean miss and the
+        re-simulated result overwrites nothing in quarantine.
+        """
+        src = self._path(digest)
+        dst_dir = self.root / "quarantine"
+        dst = dst_dir / src.name
+        try:
+            dst_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(src, dst)
+            dst.with_suffix(".reason").write_text(reason + "\n")
+        except OSError:
+            return None
+        print(
+            f"repro.exec: quarantined corrupt cache entry {src.name} "
+            f"({reason})",
+            file=sys.stderr,
+        )
+        return dst
 
     def put(self, digest: str, payload: dict) -> None:
         path = self._path(digest)
@@ -128,4 +211,5 @@ class ResultCache:
     def __len__(self) -> int:
         if not self.root.exists():
             return 0
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        # two-hex-digit shards only: quarantined entries don't count
+        return sum(1 for _ in self.root.glob("[0-9a-f][0-9a-f]/*.json"))

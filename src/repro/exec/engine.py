@@ -1,4 +1,4 @@
-"""The sweep execution engine: parallel fan-out + memoization.
+"""The sweep execution engine: parallel fan-out + memoization + fault tolerance.
 
 A :class:`SweepExecutor` serves work units through three layers:
 
@@ -13,19 +13,45 @@ whatever mix of cache hits, sequential runs, and parallel workers
 produced them.  If the process pool cannot be created or dies (no
 semaphores in a sandbox, fork bans, ...), the engine degrades to the
 sequential path and still completes the sweep.
+
+Partial failure degrades gracefully instead of killing the sweep:
+
+* pool workers report exceptions as structured payloads, so one bad
+  unit never aborts the round (and per-future errors are collected,
+  not propagated);
+* a worker that *dies* (signal, ``os._exit``) breaks its pool — the
+  engine re-probes each suspect unit in a disposable single-worker
+  pool to separate the poison from the collateral;
+* :class:`~repro.errors.TransientError` failures are retried with
+  bounded exponential backoff (``retries``/``backoff``);
+* ``timeout`` seconds of wall clock cut a hung unit off (SIGALRM at
+  the executing process, pool worker or main);
+* every terminal failure is recorded as a :class:`FailedUnit` in
+  :class:`SweepStats` and the unit's digest is quarantined: later
+  requests raise :class:`~repro.errors.UnitFailed` instead of
+  re-executing the poison (in particular, the sequential fallback
+  never re-runs a unit that just killed a worker).
 """
 from __future__ import annotations
 
 import concurrent.futures
+import contextlib
 import dataclasses
+import signal
 import sys
+import threading
 import time
+import traceback
 from typing import Iterable, Optional, Sequence
 
+from .. import faults as faults_mod
+from ..errors import FailureKind, UnitFailed, UnitTimeout, classify, is_injected
 from .cache import ResultCache, result_from_json, result_to_json
 from .unit import UnitResult, WorkUnit, execute, unit_digest
 
-__all__ = ["SweepExecutor", "SweepStats", "UnitRecord"]
+__all__ = ["SweepExecutor", "SweepStats", "UnitRecord", "FailedUnit"]
+
+_POOL_ERRORS = (OSError, concurrent.futures.BrokenExecutor, RuntimeError)
 
 
 @dataclasses.dataclass
@@ -40,11 +66,25 @@ class UnitRecord:
     source: str  # "mem" | "disk" | "run"
 
 
+@dataclasses.dataclass
+class FailedUnit:
+    """One work unit that terminally failed (the sweep went on without it)."""
+
+    label: str
+    digest: str
+    kind: str  # FailureKind.value
+    error: str  # message of the final exception
+    traceback: str
+    attempts: int
+    injected: bool = False  # planted by repro.faults (expected in chaos runs)
+
+
 class SweepStats:
     """Hit/miss counters + per-unit timings for one executor's lifetime."""
 
     def __init__(self) -> None:
         self.records: list[UnitRecord] = []
+        self.failures: list[FailedUnit] = []
 
     def record(
         self, unit: WorkUnit, digest: str, seconds: float,
@@ -70,6 +110,10 @@ class SweepStats:
     def sim_seconds(self) -> float:
         return sum(r.sim_seconds for r in self.records if not r.cached)
 
+    def unexpected_failures(self) -> list[FailedUnit]:
+        """Failures not planted by the fault-injection harness."""
+        return [f for f in self.failures if not f.injected]
+
     def summary(self) -> dict:
         """JSON-friendly roll-up (the CI build artifact)."""
         return {
@@ -77,31 +121,112 @@ class SweepStats:
             "misses": self.misses,
             "sim_seconds": self.sim_seconds,
             "units": [dataclasses.asdict(r) for r in self.records],
+            "failures": [dataclasses.asdict(f) for f in self.failures],
         }
 
 
-def _execute_payload(unit: WorkUnit) -> dict:
-    """Process-pool worker: simulate one unit, return its JSON payload."""
-    return result_to_json(execute(unit))
+@contextlib.contextmanager
+def _deadline(seconds: Optional[float]):
+    """Raise :class:`UnitTimeout` if the body runs longer than ``seconds``.
+
+    SIGALRM-based, so it cuts off even a unit stuck in a pure-Python
+    loop; silently unenforced off the main thread or on platforms
+    without ``setitimer`` (the parallel path still enforces it, since
+    pool workers execute on their own main threads).
+    """
+    if (
+        not seconds
+        or seconds <= 0
+        or not hasattr(signal, "setitimer")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _alarm(signum, frame):
+        raise UnitTimeout(f"unit exceeded --timeout={seconds:g}s", seconds=seconds)
+
+    prev = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, prev)
+
+
+def _execute_payload(unit: WorkUnit, attempt: int = 1, faults=None) -> dict:
+    """Simulate one unit and return its JSON payload."""
+    return result_to_json(execute(unit, attempt=attempt, faults=faults))
+
+
+def _worker_payload(
+    unit: WorkUnit, attempt: int, faults, timeout: Optional[float]
+) -> dict:
+    """Process-pool worker: never raises for ordinary failures.
+
+    Returns ``{"ok": payload}`` or ``{"err": {...}}`` so a unit that
+    throws (or times out) costs exactly one structured error instead of
+    poisoning the pool; only a genuine process death breaks the pool.
+    """
+    try:
+        with _deadline(timeout):
+            return {"ok": _execute_payload(unit, attempt, faults)}
+    except Exception as e:
+        return {
+            "err": {
+                "type": type(e).__name__,
+                "kind": classify(e).value,
+                "message": str(e),
+                "traceback": traceback.format_exc(),
+                "injected": is_injected(e) or _hang_induced(e, unit, faults),
+            }
+        }
+
+
+def _hang_induced(e, unit: WorkUnit, faults) -> bool:
+    """A timeout caused by a planted ``hang`` fault counts as injected.
+
+    The alarm fires outside the injector, so the UnitTimeout itself
+    carries no ``injected`` flag; attribution comes from the plan.
+    """
+    return (
+        isinstance(e, UnitTimeout)
+        and faults is not None
+        and faults.planned(unit.label(), "hang") is not None
+    )
 
 
 class SweepExecutor:
-    """Memoizing, optionally parallel executor for sweep work units."""
+    """Memoizing, optionally parallel, fault-tolerant executor."""
 
     def __init__(
         self,
         jobs: int = 1,
         cache=None,
         memoize: bool = True,
+        timeout: Optional[float] = None,
+        retries: int = 2,
+        backoff: float = 0.05,
+        faults=None,
     ) -> None:
         self.jobs = max(1, int(jobs))
         if cache is not None and not isinstance(cache, ResultCache):
             cache = ResultCache(cache)
         self.cache: Optional[ResultCache] = cache
         self.memoize = memoize
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = max(0.0, float(backoff))
+        #: fault-injection plan; defaults to $REPRO_FAULTS (None when unset)
+        self.faults = (
+            faults_mod.from_spec(faults) if faults is not None
+            else faults_mod.from_env()
+        )
         self.stats = SweepStats()
         self._mem: dict = {}  # digest -> payload
         self._digests: dict = {}  # WorkUnit -> digest
+        self._failed: dict = {}  # digest -> FailedUnit (quarantined units)
 
     # -- lookup layers ----------------------------------------------------
     def digest_of(self, unit: WorkUnit) -> str:
@@ -123,43 +248,119 @@ class SweepExecutor:
                 return payload, "disk"
         return None, "run"
 
-    def _store(self, digest: str, payload: dict) -> None:
+    def _store(self, digest: str, payload: dict, label: str = "") -> None:
         if self.memoize:
             self._mem[digest] = payload
         if self.cache is not None:
             self.cache.put(digest, payload)
+            if label and self.faults is not None and self.faults.corrupts(label):
+                faults_mod.corrupt_file(self.cache.path_for(digest))
+
+    # -- failure bookkeeping ----------------------------------------------
+    def _record_failure(
+        self,
+        unit: WorkUnit,
+        digest: str,
+        kind: str,
+        error: str,
+        tb: str,
+        attempts: int,
+        injected: bool,
+    ) -> FailedUnit:
+        failed = FailedUnit(
+            label=unit.label(), digest=digest, kind=kind, error=error,
+            traceback=tb, attempts=attempts, injected=injected,
+        )
+        self.stats.failures.append(failed)
+        self._failed[digest] = failed
+        print(
+            f"repro.exec: unit {failed.label} failed terminally "
+            f"({failed.kind}, attempt {attempts}"
+            f"{', injected' if injected else ''}): {error}",
+            file=sys.stderr,
+        )
+        return failed
+
+    def _raise_failed(self, failed: FailedUnit):
+        raise UnitFailed(
+            failed.label, FailureKind(failed.kind), failed.error,
+            injected=failed.injected,
+        )
 
     # -- serving ----------------------------------------------------------
     def run_unit(self, unit: WorkUnit) -> UnitResult:
-        """Serve one unit: memo table, then disk cache, then simulate."""
+        """Serve one unit: memo table, then disk cache, then simulate.
+
+        A unit that already failed terminally is quarantined: it raises
+        :class:`~repro.errors.UnitFailed` instead of re-executing.
+        """
         t0 = time.perf_counter()
         digest = self.digest_of(unit)
+        failed = self._failed.get(digest)
+        if failed is not None:
+            self._raise_failed(failed)
         payload, source = self._lookup(digest)
         if payload is None:
-            payload = _execute_payload(unit)
-            self._store(digest, payload)
+            payload = self._simulate_with_retry(unit, digest)
         self.stats.record(
             unit, digest, time.perf_counter() - t0, payload["seconds"], source
         )
         return result_from_json(payload, cached=source != "run")
 
     def run_units(self, units: Iterable[WorkUnit]) -> list[UnitResult]:
-        """Serve many units (prewarming misses in parallel first)."""
+        """Serve many units (prewarming misses in parallel first).
+
+        Returns the results of the units that succeeded; failures are
+        recorded in ``stats.failures`` rather than propagated, so one
+        bad unit costs one row, not the sweep.
+        """
         units = list(units)
         self.prewarm(units)
-        return [self.run_unit(u) for u in units]
+        out = []
+        for u in units:
+            try:
+                out.append(self.run_unit(u))
+            except UnitFailed:
+                pass
+        return out
+
+    def _simulate_with_retry(self, unit: WorkUnit, digest: str) -> dict:
+        """Sequential execution with timeout, bounded retry, quarantine."""
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                with _deadline(self.timeout):
+                    payload = _execute_payload(unit, attempt, self.faults)
+            except Exception as e:
+                kind = classify(e)
+                if kind is FailureKind.TRANSIENT and attempt <= self.retries:
+                    time.sleep(self.backoff * (2 ** (attempt - 1)))
+                    continue
+                failed = self._record_failure(
+                    unit, digest, kind=kind.value, error=str(e),
+                    tb=traceback.format_exc(), attempts=attempt,
+                    injected=is_injected(e) or _hang_induced(e, unit, self.faults),
+                )
+                raise UnitFailed(
+                    failed.label, kind, failed.error, injected=failed.injected
+                ) from e
+            self._store(digest, payload, unit.label())
+            return payload
 
     def prewarm(self, units: Sequence[WorkUnit], jobs: Optional[int] = None):
         """Simulate every not-yet-cached unit, fanning out when asked.
 
-        Duplicates are deduplicated by digest; already-cached units cost
-        nothing.  Returns the number of units actually simulated.
+        Duplicates are deduplicated by digest; already-cached and
+        quarantined units cost nothing.  Returns the number of units
+        attempted.  Failures are recorded, not raised — the sweep's
+        remaining units always complete.
         """
         jobs = self.jobs if jobs is None else max(1, int(jobs))
         todo: dict = {}
         for u in units:
             d = self.digest_of(u)
-            if d in todo:
+            if d in todo or d in self._failed:
                 continue
             payload, _ = self._lookup(d)
             if payload is None:
@@ -168,35 +369,137 @@ class SweepExecutor:
             return 0
         if jobs > 1 and len(todo) > 1:
             self._prewarm_parallel(todo, jobs)
-        # anything the pool could not produce runs sequentially
+        # anything the pool could not produce runs sequentially — except
+        # quarantined units, which are never re-executed in-process
         for d, u in todo.items():
-            if self._lookup(d)[0] is None:
-                t0 = time.perf_counter()
-                payload = _execute_payload(u)
-                self._store(d, payload)
-                self.stats.record(
-                    u, d, time.perf_counter() - t0, payload["seconds"], "run"
-                )
+            if d in self._failed or self._lookup(d)[0] is not None:
+                continue
+            t0 = time.perf_counter()
+            try:
+                payload = self._simulate_with_retry(u, d)
+            except UnitFailed:
+                continue
+            self.stats.record(
+                u, d, time.perf_counter() - t0, payload["seconds"], "run"
+            )
         return len(todo)
 
+    # -- parallel fan-out --------------------------------------------------
     def _prewarm_parallel(self, todo: dict, jobs: int) -> None:
-        workers = min(jobs, len(todo), 32)
+        """Pool rounds with per-future error collection and crash probing.
+
+        Each round submits the pending units; worker exceptions come
+        back as structured errors (recorded or retried), and a broken
+        pool turns its unfinished futures into *suspects* that are
+        probed one-by-one in disposable single-worker pools.
+        """
+        pending = dict(todo)
+        attempts = {d: 0 for d in pending}
+        max_rounds = self.retries + 4  # transient budget + crash-probe slack
+        for _ in range(max_rounds):
+            if not pending:
+                return
+            outcome = self._pool_round(pending, attempts, jobs)
+            if outcome is None:
+                return  # no pool available: sequential fallback takes over
+            retry, suspects = outcome
+            if suspects:
+                self._probe_suspects(suspects, attempts, retry)
+            if retry:
+                worst = max(attempts[d] for d in retry)
+                time.sleep(self.backoff * (2 ** max(0, worst - 1)))
+            pending = retry
+        # leftovers (pathological pool churn) fall back to the
+        # sequential path in prewarm(), which quarantine-guards them
+
+    def _pool_round(self, pending: dict, attempts: dict, jobs: int):
+        """One submit/collect cycle; returns (retry, suspects) or None."""
+        workers = min(jobs, len(pending), 32)
         try:
-            with concurrent.futures.ProcessPoolExecutor(workers) as pool:
-                futures = {
-                    pool.submit(_execute_payload, u): (d, u)
-                    for d, u in todo.items()
-                }
-                for fut in concurrent.futures.as_completed(futures):
-                    d, u = futures[fut]
-                    payload = fut.result()
-                    self._store(d, payload)
-                    self.stats.record(
-                        u, d, payload["seconds"], payload["seconds"], "run"
-                    )
-        except (OSError, concurrent.futures.BrokenExecutor, RuntimeError) as e:
+            pool = concurrent.futures.ProcessPoolExecutor(
+                workers, initializer=faults_mod.mark_pool_worker
+            )
+        except _POOL_ERRORS as e:
             print(
                 f"repro.exec: process pool unavailable ({e!r}); "
                 "falling back to sequential execution",
                 file=sys.stderr,
             )
+            return None
+        retry: dict = {}
+        suspects: dict = {}
+        futures: dict = {}
+        try:
+            for d, u in pending.items():
+                attempts[d] += 1
+                try:
+                    fut = pool.submit(
+                        _worker_payload, u, attempts[d], self.faults, self.timeout
+                    )
+                except concurrent.futures.BrokenExecutor:
+                    # pool died mid-submission; resubmit next round
+                    attempts[d] -= 1
+                    retry[d] = u
+                    continue
+                futures[fut] = (d, u)
+            concurrent.futures.wait(list(futures))
+            for fut, (d, u) in futures.items():
+                try:
+                    out = fut.result()
+                except _POOL_ERRORS:
+                    # the worker died under this unit *or* the unit was
+                    # collateral of a crash elsewhere — probe to find out
+                    suspects[d] = u
+                    continue
+                self._absorb(d, u, out, attempts, retry)
+        finally:
+            pool.shutdown(wait=True)
+        return retry, suspects
+
+    def _probe_suspects(self, suspects: dict, attempts: dict, retry: dict) -> None:
+        """Re-run each crash suspect in its own disposable one-worker pool.
+
+        The unit that actually killed the shared worker kills its probe
+        pool too and is quarantined as a CRASH; innocent bystanders
+        complete normally and their results are kept.
+        """
+        for d, u in suspects.items():
+            attempts[d] += 1
+            try:
+                with concurrent.futures.ProcessPoolExecutor(
+                    1, initializer=faults_mod.mark_pool_worker
+                ) as pool:
+                    out = pool.submit(
+                        _worker_payload, u, attempts[d], self.faults, self.timeout
+                    ).result()
+            except _POOL_ERRORS:
+                injected = (
+                    self.faults is not None
+                    and self.faults.planned(u.label(), "kill") is not None
+                )
+                self._record_failure(
+                    u, d, kind=FailureKind.CRASH.value,
+                    error="worker process died without reporting a result",
+                    tb="", attempts=attempts[d], injected=injected,
+                )
+                continue
+            self._absorb(d, u, out, attempts, retry)
+
+    def _absorb(self, d: str, u: WorkUnit, out: dict, attempts: dict, retry: dict):
+        """Fold one worker response into stats/cache/retry/quarantine."""
+        if "ok" in out:
+            payload = out["ok"]
+            self._store(d, payload, u.label())
+            self.stats.record(
+                u, d, payload["seconds"], payload["seconds"], "run"
+            )
+            return
+        err = out["err"]
+        if err["kind"] == FailureKind.TRANSIENT.value and attempts[d] <= self.retries:
+            retry[d] = u
+            return
+        self._record_failure(
+            u, d, kind=err["kind"], error=err["message"],
+            tb=err["traceback"], attempts=attempts[d],
+            injected=err["injected"],
+        )

@@ -158,11 +158,20 @@ def unit_digest(
     return digest_of_fingerprint(unit_fingerprint(unit, spec=spec, version=version))
 
 
-def execute(unit: WorkUnit) -> UnitResult:
-    """Actually simulate one work unit (no caching at this layer)."""
+def execute(unit: WorkUnit, attempt: int = 1, faults=None) -> UnitResult:
+    """Actually simulate one work unit (no caching at this layer).
+
+    ``attempt``/``faults`` are the fault-injection boundary: when a
+    :class:`repro.faults.FaultInjector` is supplied, it fires any fault
+    planned for this unit's label *before* the simulation runs, so
+    injected failures behave exactly like real ones to every layer
+    above (retry, quarantine, reporting).
+    """
     from ..prof.collect import sim_device_of
     from ..prof.profile import aggregate
 
+    if faults is not None:
+        faults.fire(unit.label(), attempt)
     bench = get_benchmark(unit.benchmark)
     host = host_for(unit.api, unit.spec)
     t0 = time.perf_counter()

@@ -14,7 +14,17 @@ warm reruns skip simulation entirely.  Rendered reports go to stdout
 and are byte-identical whatever mix of cache hits and parallel workers
 produced them; timings and the sweep summary go to stderr.
 
-Exits non-zero when any shape check valid at the requested size fails.
+Execution is fault-tolerant: a work unit that fails terminally (after
+``--retries`` transient retries, or cut off by ``--timeout``) is
+recorded as a ``FailedUnit`` and quarantined while the rest of the
+sweep completes; an experiment whose units failed is reported and
+skipped instead of aborting the run.  The failure table goes to stderr
+and into ``--sweep-json``.
+
+Exits non-zero when any shape check valid at the requested size fails,
+or when any unit failure was *not* planted by the ``repro.faults``
+chaos harness (injected failures are expected in chaos runs and do not
+fail the build).
 """
 from __future__ import annotations
 
@@ -24,6 +34,7 @@ import sys
 import time
 
 from .. import exec as rexec
+from ..errors import ReproError
 from . import EXPERIMENTS
 
 __all__ = ["main", "run_experiment", "collect_units", "build_executor"]
@@ -62,6 +73,14 @@ def add_sweep_arguments(ap: argparse.ArgumentParser) -> None:
         help="disable the on-disk result cache for this run",
     )
     ap.add_argument(
+        "--timeout", type=float, default=None, metavar="SEC",
+        help="cut any single work unit off after SEC wall-clock seconds",
+    )
+    ap.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="retry a unit up to N times on transient failures (default 2)",
+    )
+    ap.add_argument(
         "--sweep-report", action="store_true",
         help="print the per-unit timing + cache hit/miss table (stderr)",
     )
@@ -75,7 +94,12 @@ def build_executor(args) -> rexec.SweepExecutor:
     cache = None
     if not args.no_cache:
         cache = args.cache_dir or rexec.default_cache_dir()
-    return rexec.SweepExecutor(jobs=args.jobs, cache=cache)
+    return rexec.SweepExecutor(
+        jobs=args.jobs,
+        cache=cache,
+        timeout=getattr(args, "timeout", None),
+        retries=getattr(args, "retries", 2),
+    )
 
 
 def finish_sweep(args, executor: rexec.SweepExecutor) -> None:
@@ -87,6 +111,16 @@ def finish_sweep(args, executor: rexec.SweepExecutor) -> None:
             f"{st.misses} simulated ({st.sim_seconds:.1f}s simulation)",
             file=sys.stderr,
         )
+    if st.failures:
+        from ..prof.report import render_failures
+
+        injected = sum(1 for f in st.failures if f.injected)
+        print(
+            f"sweep: {len(st.failures)} unit(s) failed terminally "
+            f"({injected} injected)",
+            file=sys.stderr,
+        )
+        print(render_failures(st), file=sys.stderr)
     if args.sweep_report and st.records:
         from ..prof.report import render_sweep
 
@@ -117,20 +151,40 @@ def main(argv=None) -> int:
                 f"unknown experiment {name!r}; available: {', '.join(EXPERIMENTS)}"
             )
     failures = 0
+    aborted_unexpected = 0
     with rexec.use_executor(build_executor(args)) as ex:
         ex.prewarm(collect_units(names, args.size))
         for name in names:
             t0 = time.time()
-            res = run_experiment(name, size=args.size)
+            try:
+                res = run_experiment(name, size=args.size)
+            except ReproError as e:
+                # a work unit this experiment needs failed terminally;
+                # report and move on — one bad unit must not kill the run
+                injected = getattr(e, "injected", False)
+                print(
+                    f"({name}: aborted by failed work unit"
+                    f"{' [injected]' if injected else ''}: {e})",
+                    file=sys.stderr,
+                )
+                if not injected:
+                    aborted_unexpected += 1
+                continue
             print(res.render())
             print()
             print(f"({name}: {time.time() - t0:.1f}s)", file=sys.stderr)
             failures += len(res.failed_checks())
         finish_sweep(args, ex)
+        unexpected = len(ex.stats.unexpected_failures())
     if failures:
         print(f"{failures} shape check(s) did not hold", file=sys.stderr)
-        return 1
-    return 0
+    if unexpected or aborted_unexpected:
+        print(
+            f"{max(unexpected, aborted_unexpected)} non-injected unit "
+            "failure(s)",
+            file=sys.stderr,
+        )
+    return 1 if (failures or unexpected or aborted_unexpected) else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,30 @@
+"""repro.faults — deterministic, seeded fault injection.
+
+The chaos-testing companion of :mod:`repro.exec`: plants exceptions,
+transient faults, hangs, worker kills, and cache corruption into chosen
+work units (by label pattern, with seeded deterministic probability) so
+the test suite and CI can *prove* the engine's fault tolerance instead
+of asserting it.  See :mod:`repro.faults.injector` for the rule
+language and the ``REPRO_FAULTS`` environment format.
+"""
+from .injector import (
+    FaultInjector,
+    FaultRule,
+    InjectedFault,
+    corrupt_file,
+    from_env,
+    from_spec,
+    in_pool_worker,
+    mark_pool_worker,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultRule",
+    "InjectedFault",
+    "corrupt_file",
+    "from_env",
+    "from_spec",
+    "in_pool_worker",
+    "mark_pool_worker",
+]

@@ -11,7 +11,7 @@ from typing import Iterable, Optional, Sequence
 
 from .profile import LaunchProfile, aggregate
 
-__all__ = ["render_profile", "render_run", "render_sweep"]
+__all__ = ["render_profile", "render_run", "render_sweep", "render_failures"]
 
 #: Table-V class display order
 _CLASS_ORDER = [
@@ -138,13 +138,15 @@ def render_sweep(stats, title: str = "sweep") -> str:
     the same ASCII style as the launch profiles it summarizes.
     """
     recs = list(stats.records)
-    if not recs:
+    fails = list(getattr(stats, "failures", ()))
+    if not recs and not fails:
         return f"== {title}: no work units served =="
-    width = max(24, max(len(r.label) for r in recs))
+    width = max(24, max((len(r.label) for r in recs), default=0))
     head = f"{'unit':<{width}} {'served':>8} {'sim time':>12} {'digest':>10}"
+    failed = f", {len(fails)} failed" if fails else ""
     lines = [
         f"== {title}: {len(recs)} unit request(s), {stats.hits} hit(s), "
-        f"{stats.misses} simulated ==",
+        f"{stats.misses} simulated{failed} ==",
         head,
         "-" * len(head),
     ]
@@ -158,4 +160,31 @@ def render_sweep(stats, title: str = "sweep") -> str:
         f"{'total simulation time':<{width}} {'':>8} "
         f"{_fmt_s(stats.sim_seconds):>12} {'':>10}"
     )
+    if fails:
+        lines += ["", render_failures(stats)]
+    return "\n".join(lines)
+
+
+def render_failures(stats, title: str = "failed units") -> str:
+    """The failure table of a sweep: the paper's Table VI, operationally.
+
+    One row per :class:`repro.exec.FailedUnit` — which unit, its
+    classified :class:`~repro.errors.FailureKind`, how many attempts it
+    got, whether the fault was injected by ``repro.faults`` (chaos
+    runs), and the final error.
+    """
+    fails = list(getattr(stats, "failures", ()))
+    if not fails:
+        return f"== {title}: none =="
+    width = max(24, max(len(f.label) for f in fails))
+    head = (
+        f"{'unit':<{width}} {'kind':>10} {'attempts':>9} {'injected':>9}  error"
+    )
+    lines = [f"== {title}: {len(fails)} ==", head, "-" * len(head)]
+    for f in fails:
+        msg = f.error if len(f.error) <= 60 else f.error[:57] + "..."
+        lines.append(
+            f"{f.label:<{width}} {f.kind:>10} {f.attempts:>9} "
+            f"{'yes' if f.injected else 'no':>9}  {msg}"
+        )
     return "\n".join(lines)

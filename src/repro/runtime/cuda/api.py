@@ -17,6 +17,7 @@ import numpy as np
 
 from ...arch.specs import DeviceSpec, GTX480
 from ...compiler.nvopencc import compile_cuda
+from ...errors import ReproError
 from ...kir.stmt import Kernel as KirKernel
 from ...kir.types import Scalar
 from ...prof.profile import LaunchProfile
@@ -27,8 +28,9 @@ from ..overhead import cuda_launch_overhead_s
 __all__ = ["CudaContext", "CudaFunction", "CudaEvent", "DevicePointer", "CudaError"]
 
 
-class CudaError(RuntimeError):
-    pass
+class CudaError(ReproError):
+    """A CUDA runtime error; carries the structured ``code`` when the
+    underlying failure had one (e.g. a launch-time resource rejection)."""
 
 
 @dataclasses.dataclass(frozen=True)
@@ -139,7 +141,7 @@ class CudaContext:
         try:
             res = self.device.launch(fn.ptx, grid, block, prepared)
         except LaunchFailure as e:
-            raise CudaError(str(e)) from e
+            raise CudaError(str(e), code=e.code) from e
         overhead = cuda_launch_overhead_s(work_items)
         if res.profile is not None:
             p = res.profile

@@ -32,6 +32,7 @@ from ...arch.specs import (
     INTEL920,
 )
 from ...compiler.clc import compile_opencl
+from ...errors import ReproError
 from ...kir.stmt import Kernel as KirKernel
 from ...kir.types import Scalar, sizeof
 from ...prof.profile import LaunchProfile
@@ -55,10 +56,17 @@ __all__ = [
 ]
 
 
-class CLError(RuntimeError):
+class CLError(ReproError):
+    """An OpenCL status code, typed into the ``repro.errors`` taxonomy.
+
+    ``code`` is the structured ``CL_*`` status; ``repro.errors.classify``
+    maps resource codes onto Table VI's "ABT" without string matching.
+    """
+
     def __init__(self, code: str, message: str = ""):
-        super().__init__(f"{code}{': ' + message if message else ''}")
-        self.code = code
+        super().__init__(
+            f"{code}{': ' + message if message else ''}", code=code
+        )
 
 
 class DeviceType:

@@ -14,6 +14,7 @@ import numpy as np
 
 from ..arch.occupancy import Occupancy, occupancy
 from ..arch.specs import DeviceSpec
+from ..errors import ReproError
 from ..kir.types import Scalar, np_dtype
 from ..prof.profile import LaunchProfile, build_launch_profile
 from ..ptx.module import PTXKernel
@@ -25,12 +26,16 @@ from .timing import KernelTiming, kernel_time
 __all__ = ["SimDevice", "LaunchResult", "LaunchFailure", "OutOfDeviceMemory"]
 
 
-class LaunchFailure(RuntimeError):
-    """Kernel could not be launched (resource limits etc.)."""
+class LaunchFailure(ReproError):
+    """Kernel could not be launched (resource limits etc.).
+
+    Carries the structured driver error ``code``; classification (e.g.
+    ``CL_OUT_OF_RESOURCES`` -> Table VI "ABT") is done by
+    :func:`repro.errors.classify` on the code, never on the message.
+    """
 
     def __init__(self, code: str, message: str):
-        super().__init__(f"{code}: {message}")
-        self.code = code
+        super().__init__(f"{code}: {message}", code=code)
 
 
 @dataclasses.dataclass

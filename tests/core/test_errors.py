@@ -1,0 +1,139 @@
+"""The typed failure taxonomy (repro.errors) and its classification.
+
+Satellite: ABT classification goes through typed exceptions + structured
+driver codes, never substring-matching stringified exceptions.
+"""
+import pytest
+
+from repro import errors
+from repro.arch.specs import CELLBE, GTX480, HD5870
+from repro.benchsuite.registry import get_benchmark
+from repro.errors import (
+    CacheCorruptionError,
+    FailureKind,
+    ReproError,
+    ResourceError,
+    TransientError,
+    UnitFailed,
+    UnitTimeout,
+    ValidationError,
+    WorkerCrash,
+    classify,
+)
+from repro.runtime.cuda.api import CudaError
+from repro.runtime.opencl import api as cl
+from repro.sim.device import LaunchFailure
+
+
+class TestHierarchy:
+    def test_all_kinds_are_repro_errors(self):
+        for exc in (
+            ResourceError("x"),
+            ValidationError("x"),
+            TransientError("x"),
+            UnitTimeout("x", seconds=1.0),
+            WorkerCrash("x"),
+            CacheCorruptionError("x"),
+            UnitFailed("u", FailureKind.CRASH, "x"),
+        ):
+            assert isinstance(exc, ReproError)
+            assert isinstance(exc, RuntimeError)  # legacy catch sites
+
+    def test_driver_errors_are_typed(self):
+        assert isinstance(cl.CLError("CL_INVALID_VALUE"), ReproError)
+        assert isinstance(CudaError("boom"), ReproError)
+        assert isinstance(LaunchFailure("CL_OUT_OF_RESOURCES", "k"), ReproError)
+
+    def test_resource_error_default_code(self):
+        assert ResourceError("no regs").code == "CL_OUT_OF_RESOURCES"
+
+
+class TestClassify:
+    def test_typed_kinds(self):
+        assert classify(ResourceError("x")) is FailureKind.ABT
+        assert classify(ValidationError("x")) is FailureKind.FL
+        assert classify(TransientError("x")) is FailureKind.TRANSIENT
+        assert classify(UnitTimeout("x")) is FailureKind.TIMEOUT
+        assert classify(WorkerCrash("x")) is FailureKind.CRASH
+        assert classify(CacheCorruptionError("x")) is FailureKind.CACHE
+
+    def test_unknown_exceptions_are_error(self):
+        assert classify(ValueError("nope")) is FailureKind.ERROR
+        assert classify(KeyError("k")) is FailureKind.ERROR
+
+    def test_cl_resource_code_is_abt(self):
+        assert classify(cl.CLError("CL_OUT_OF_RESOURCES", "k")) is FailureKind.ABT
+
+    def test_launch_failure_code_is_abt(self):
+        e = LaunchFailure("CL_OUT_OF_RESOURCES", "kernel block=(1024,1,1)")
+        assert classify(e) is FailureKind.ABT
+
+    def test_benign_code_is_not_abt(self):
+        assert classify(cl.CLError("CL_INVALID_VALUE")) is FailureKind.ERROR
+
+    def test_message_text_does_not_classify(self):
+        # the old substring bug: "OUT_OF_RESOURCES" in the *message* of a
+        # non-resource error must NOT classify as ABT
+        e = cl.CLError("CL_INVALID_VALUE", "param named OUT_OF_RESOURCES_LOG")
+        assert "OUT_OF_RESOURCES" in str(e)
+        assert classify(e) is FailureKind.ERROR
+
+    def test_cause_chain_is_walked(self):
+        # CUDA wraps LaunchFailure; classification survives the wrap
+        inner = LaunchFailure("CL_OUT_OF_RESOURCES", "k")
+        try:
+            try:
+                raise inner
+            except LaunchFailure as lf:
+                raise CudaError(str(lf)) from lf  # code dropped on purpose
+        except CudaError as outer:
+            assert classify(outer) is FailureKind.ABT
+
+    def test_cuda_wrap_preserves_code(self):
+        try:
+            raise CudaError("msg", code="CL_OUT_OF_RESOURCES")
+        except CudaError as e:
+            assert classify(e) is FailureKind.ABT
+
+    def test_unit_failed_carries_underlying_kind(self):
+        uf = UnitFailed("MD/opencl@GTX480[small]", FailureKind.TIMEOUT, "slow")
+        assert classify(uf) is FailureKind.TIMEOUT
+        assert "MD/opencl@GTX480[small]" in str(uf)
+        assert "TIMEOUT" in str(uf)
+
+    def test_is_injected_walks_cause(self):
+        inner = TransientError("x")
+        inner.injected = True
+        try:
+            try:
+                raise inner
+            except TransientError as t:
+                raise RuntimeError("wrap") from t
+        except RuntimeError as outer:
+            assert errors.is_injected(outer)
+        assert not errors.is_injected(RuntimeError("plain"))
+
+
+class TestBenchClassification:
+    """bench.run() maps typed errors onto the paper's byte-compatible tags."""
+
+    def test_cell_abort_is_abt(self):
+        # FFT on Cell/BE: Table VI "ABT" via CL_OUT_OF_RESOURCES
+        from repro.benchsuite.base import host_for
+
+        r = get_benchmark("FFT").run(host_for("opencl", CELLBE), size="small")
+        assert r.failure == "ABT"
+        assert not r.ok()
+
+    def test_warp_size_failure_is_fl(self):
+        # RdxS on HD5870: completes with wrong results -> "FL"
+        from repro.benchsuite.base import host_for
+
+        r = get_benchmark("RdxS").run(host_for("opencl", HD5870), size="small")
+        assert r.failure == "FL"
+
+    def test_clean_run_has_no_failure(self):
+        from repro.benchsuite.base import host_for
+
+        r = get_benchmark("TranP").run(host_for("cuda", GTX480), size="small")
+        assert r.failure is None and r.ok()

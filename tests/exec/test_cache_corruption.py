@@ -1,0 +1,111 @@
+"""Cache hardening: corrupt entries behave as misses + quarantine.
+
+Satellite: truncated JSON, valid-JSON-wrong-schema, and
+schema-version-mismatch entries are each quarantined (not crashes), and
+a warm rerun after quarantine is byte-identical to a cold run.
+"""
+import json
+
+import pytest
+
+from repro import exec as rexec
+from repro.arch.specs import GTX480
+from repro.errors import CacheCorruptionError
+from repro.exec.cache import SCHEMA_VERSION, validate_payload
+
+from .test_engine import canon
+
+UNIT = rexec.make_unit("TranP", "cuda", GTX480, "small")
+
+
+def _populate(tmp_path):
+    """Cold-run UNIT into a disk cache; returns (digest, entry path)."""
+    ex = rexec.SweepExecutor(cache=tmp_path)
+    ex.run_unit(UNIT)
+    digest = ex.digest_of(UNIT)
+    path = ex.cache.path_for(digest)
+    assert path.exists()
+    return digest, path
+
+
+def _fresh_lookup(tmp_path, digest):
+    return rexec.ResultCache(tmp_path).get(digest)
+
+
+class TestValidatePayload:
+    def test_accepts_round_trip(self):
+        payload = rexec.result_to_json(rexec.execute(UNIT))
+        validate_payload(payload)  # no raise
+        assert payload["schema"] == SCHEMA_VERSION
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(CacheCorruptionError):
+            validate_payload([1, 2, 3])
+
+    def test_rejects_missing_keys(self):
+        with pytest.raises(CacheCorruptionError, match="missing keys"):
+            validate_payload({"schema": SCHEMA_VERSION, "unit": {}})
+
+    def test_rejects_wrong_schema_version(self):
+        payload = rexec.result_to_json(rexec.execute(UNIT))
+        payload["schema"] = SCHEMA_VERSION + 1
+        with pytest.raises(CacheCorruptionError, match="schema version"):
+            validate_payload(payload)
+
+    def test_result_from_json_raises_typed_not_keyerror(self):
+        with pytest.raises(CacheCorruptionError):
+            rexec.result_from_json({"bogus": True})
+
+
+class TestQuarantine:
+    def test_truncated_json_is_miss_plus_quarantine(self, tmp_path, capsys):
+        digest, path = _populate(tmp_path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])  # torn write
+        assert _fresh_lookup(tmp_path, digest) is None
+        qfile = tmp_path / "quarantine" / path.name
+        assert qfile.exists()
+        assert "unparseable JSON" in qfile.with_suffix(".reason").read_text()
+        assert not path.exists()
+        assert "quarantined corrupt cache entry" in capsys.readouterr().err
+
+    def test_wrong_shape_json_is_miss_plus_quarantine(self, tmp_path):
+        digest, path = _populate(tmp_path)
+        path.write_text(json.dumps({"totally": "unrelated"}))
+        assert _fresh_lookup(tmp_path, digest) is None
+        assert (tmp_path / "quarantine" / path.name).exists()
+
+    def test_schema_version_mismatch_is_miss_plus_quarantine(self, tmp_path):
+        digest, path = _populate(tmp_path)
+        payload = json.loads(path.read_text())
+        payload["schema"] = 999
+        path.write_text(json.dumps(payload))
+        assert _fresh_lookup(tmp_path, digest) is None
+        qdir = tmp_path / "quarantine"
+        assert (qdir / path.name).exists()
+        assert "schema version" in (qdir / path.name).with_suffix(
+            ".reason"
+        ).read_text()
+
+    def test_quarantined_entries_do_not_count(self, tmp_path):
+        digest, path = _populate(tmp_path)
+        cache = rexec.ResultCache(tmp_path)
+        assert len(cache) == 1
+        path.write_text("{broken")
+        assert cache.get(digest) is None
+        assert len(cache) == 0
+
+    def test_warm_rerun_after_quarantine_matches_cold(self, tmp_path):
+        digest, path = _populate(tmp_path)
+        cold = rexec.SweepExecutor(cache=tmp_path).run_unit(UNIT)
+        # corrupt the entry; the next executor re-simulates and re-stores
+        path.write_text("}{ not json")
+        ex = rexec.SweepExecutor(cache=tmp_path)
+        refilled = ex.run_unit(UNIT)
+        assert not refilled.cached  # served by simulation, not the cache
+        assert ex.stats.misses == 1
+        assert canon(refilled, wall=False) == canon(cold, wall=False)
+        # ... and the re-stored entry now serves byte-identical hits
+        warm = rexec.SweepExecutor(cache=tmp_path).run_unit(UNIT)
+        assert warm.cached
+        assert canon(warm) == canon(refilled)

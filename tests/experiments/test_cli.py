@@ -113,6 +113,75 @@ def test_experiments_cli_rejects_unknown_name():
         main(["nonesuch", "--size", "small"])
 
 
+def _fault_raising_experiment(injected):
+    """An experiment module whose run() hits a failed work unit."""
+    import types
+
+    from repro.errors import FailureKind, UnitFailed
+
+    def run(size="small"):
+        raise UnitFailed(
+            "Fake/cuda@GTX480[small]", FailureKind.ERROR, "boom",
+            injected=injected,
+        )
+
+    return types.SimpleNamespace(run=run)
+
+
+def test_experiments_cli_skips_experiment_aborted_by_injected_fault(
+    monkeypatch, capsys
+):
+    from repro.experiments import EXPERIMENTS
+    from repro.experiments.runner import main
+
+    monkeypatch.setitem(EXPERIMENTS, "fake", _fault_raising_experiment(True))
+    rc = main(["fake", "--size", "small", "--no-cache"])
+    cap = capsys.readouterr()
+    # injected (chaos-harness) failures are expected: report, exit clean
+    assert rc == 0
+    assert "aborted by failed work unit [injected]" in cap.err
+
+
+def test_experiments_cli_nonzero_on_unexpected_unit_failure(
+    monkeypatch, capsys
+):
+    from repro.experiments import EXPERIMENTS
+    from repro.experiments.runner import main
+
+    monkeypatch.setitem(EXPERIMENTS, "fake", _fault_raising_experiment(False))
+    rc = main(["fake", "--size", "small", "--no-cache"])
+    cap = capsys.readouterr()
+    assert rc == 1
+    assert "aborted by failed work unit" in cap.err
+    assert "non-injected unit failure" in cap.err
+
+
+def test_experiments_cli_accepts_timeout_and_retries(capsys):
+    from repro.experiments.runner import main
+
+    rc = main(
+        ["table5", "--size", "small", "--no-cache", "--timeout", "600",
+         "--retries", "1"]
+    )
+    assert rc == 0
+    assert "table5" in capsys.readouterr().out
+
+
+def test_benchsuite_cli_reports_engine_failures(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_FAULTS", "raise:TranP/cuda@GTX480[small]")
+    from repro.benchsuite.__main__ import main
+
+    rc = main(
+        ["TranP", "--device", "GTX480", "--api", "both", "--size", "small",
+         "--no-cache"]
+    )
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "ERROR" in out  # the failed unit's row
+    assert "opencl" in out  # the other unit still ran
+    assert "failed units: 1" in out
+
+
 def test_fig1_small_is_clean_smoke_run(capsys):
     from repro.experiments.runner import main
 
