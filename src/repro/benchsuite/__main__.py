@@ -13,8 +13,10 @@ from __future__ import annotations
 import argparse
 
 from .. import exec as rexec
+from .. import telemetry
 from ..arch.specs import ALL_DEVICES
 from ..errors import UnitFailed
+from ..telemetry import spans as tspans
 from .registry import REAL_WORLD, REGISTRY, SYNTHETIC
 
 
@@ -48,6 +50,7 @@ def main(argv=None) -> int:
         "--retries", type=int, default=2, metavar="N",
         help="retry a unit up to N times on transient failures (default 2)",
     )
+    telemetry.add_telemetry_arguments(ap)
     args = ap.parse_args(argv)
 
     names = (SYNTHETIC + REAL_WORLD) if args.all else args.names
@@ -61,7 +64,8 @@ def main(argv=None) -> int:
 
     cache = None if args.no_cache else (args.cache_dir or rexec.default_cache_dir())
     executor = rexec.SweepExecutor(
-        jobs=args.jobs, cache=cache, timeout=args.timeout, retries=args.retries
+        jobs=args.jobs, cache=cache, timeout=args.timeout,
+        retries=args.retries, progress=not args.quiet,
     )
     units = [
         rexec.make_unit(name, api, spec, args.size)
@@ -73,7 +77,8 @@ def main(argv=None) -> int:
           f"{'kernel':>10s} {'status':6s}")
     print("-" * 66)
     rc = 0
-    with rexec.use_executor(executor):
+    tr = telemetry.start_run(args, "repro.benchsuite")
+    with rexec.use_executor(executor), tspans.use_tracer(tr):
         executor.prewarm(units)
         for unit in units:
             try:
@@ -102,6 +107,9 @@ def main(argv=None) -> int:
             from ..prof.report import render_failures
 
             print(render_failures(executor.stats))
+    telemetry.finish_run(
+        args, tr, "repro.benchsuite", executor=executor, cache_dir=cache
+    )
     return rc
 
 

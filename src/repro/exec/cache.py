@@ -20,7 +20,6 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
-import sys
 from pathlib import Path
 from typing import Optional
 
@@ -28,6 +27,8 @@ from ..arch.caches import CacheStats
 from ..benchsuite.base import BenchResult
 from ..errors import CacheCorruptionError
 from ..prof.profile import LaunchProfile
+from ..telemetry import log, metrics
+from ..telemetry import spans as tspans
 from .unit import UnitResult, WorkUnit, _plain
 
 __all__ = [
@@ -149,6 +150,9 @@ class ResultCache:
 
     def __init__(self, root) -> None:
         self.root = Path(root)
+        #: optional :class:`~repro.exec.engine.SweepStats` hookup so the
+        #: owning sweep's report can show quarantine counts directly
+        self.stats = None
 
     def _path(self, digest: str) -> Path:
         return self.root / digest[:2] / f"{digest}.json"
@@ -159,20 +163,25 @@ class ResultCache:
 
     def get(self, digest: str) -> Optional[dict]:
         path = self._path(digest)
-        try:
-            with open(path) as f:
-                payload = json.load(f)
-        except OSError:
-            return None
-        except ValueError as e:
-            self.quarantine(digest, f"unparseable JSON: {e}")
-            return None
-        try:
-            validate_payload(payload)
-        except CacheCorruptionError as e:
-            self.quarantine(digest, str(e))
-            return None
-        return payload
+        with tspans.span("cache.get", "cache", digest=digest[:8]):
+            try:
+                with open(path) as f:
+                    payload = json.load(f)
+            except OSError:
+                metrics.counter("cache.disk.misses").inc()
+                return None
+            except ValueError as e:
+                self.quarantine(digest, f"unparseable JSON: {e}")
+                metrics.counter("cache.disk.misses").inc()
+                return None
+            try:
+                validate_payload(payload)
+            except CacheCorruptionError as e:
+                self.quarantine(digest, str(e))
+                metrics.counter("cache.disk.misses").inc()
+                return None
+            metrics.counter("cache.disk.hits").inc()
+            return payload
 
     def quarantine(self, digest: str, reason: str) -> Optional[Path]:
         """Move a corrupt entry to ``<root>/quarantine/`` (miss, not crash).
@@ -190,20 +199,27 @@ class ResultCache:
             dst.with_suffix(".reason").write_text(reason + "\n")
         except OSError:
             return None
-        print(
-            f"repro.exec: quarantined corrupt cache entry {src.name} "
-            f"({reason})",
-            file=sys.stderr,
+        metrics.counter("cache.quarantined").inc()
+        if self.stats is not None:
+            self.stats.quarantined += 1
+        tspans.event(
+            "cache.quarantine", "cache", entry=src.name, reason=reason
+        )
+        log.warn(
+            "cache.quarantine",
+            f"quarantined corrupt cache entry {src.name} ({reason})",
         )
         return dst
 
     def put(self, digest: str, payload: dict) -> None:
         path = self._path(digest)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        with open(tmp, "w") as f:
-            json.dump(payload, f)
-        os.replace(tmp, path)
+        with tspans.span("cache.put", "cache", digest=digest[:8]):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            with open(tmp, "w") as f:
+                json.dump(payload, f)
+            os.replace(tmp, path)
+            metrics.counter("cache.puts").inc()
 
     def __contains__(self, digest: str) -> bool:
         return self._path(digest).exists()

@@ -38,7 +38,6 @@ import concurrent.futures
 import contextlib
 import dataclasses
 import signal
-import sys
 import threading
 import time
 import traceback
@@ -46,6 +45,9 @@ from typing import Iterable, Optional, Sequence
 
 from .. import faults as faults_mod
 from ..errors import FailureKind, UnitFailed, UnitTimeout, classify, is_injected
+from ..telemetry import log, metrics
+from ..telemetry import spans as tspans
+from ..telemetry.progress import ProgressLine
 from .cache import ResultCache, result_from_json, result_to_json
 from .unit import UnitResult, WorkUnit, execute, unit_digest
 
@@ -85,11 +87,14 @@ class SweepStats:
     def __init__(self) -> None:
         self.records: list[UnitRecord] = []
         self.failures: list[FailedUnit] = []
+        #: corrupt cache entries moved aside while serving this sweep
+        self.quarantined = 0
 
     def record(
         self, unit: WorkUnit, digest: str, seconds: float,
         sim_seconds: float, source: str,
     ) -> None:
+        metrics.counter(f"exec.serve.{source}").inc()
         self.records.append(
             UnitRecord(
                 label=unit.label(), digest=digest, seconds=seconds,
@@ -107,8 +112,21 @@ class SweepStats:
         return sum(1 for r in self.records if not r.cached)
 
     @property
+    def mem_hits(self) -> int:
+        return sum(1 for r in self.records if r.source == "mem")
+
+    @property
+    def disk_hits(self) -> int:
+        return sum(1 for r in self.records if r.source == "disk")
+
+    @property
     def sim_seconds(self) -> float:
         return sum(r.sim_seconds for r in self.records if not r.cached)
+
+    @property
+    def cache_serve_seconds(self) -> float:
+        """Wall seconds spent serving requests from the memo/disk cache."""
+        return sum(r.seconds for r in self.records if r.cached)
 
     def unexpected_failures(self) -> list[FailedUnit]:
         """Failures not planted by the fault-injection harness."""
@@ -118,8 +136,12 @@ class SweepStats:
         """JSON-friendly roll-up (the CI build artifact)."""
         return {
             "hits": self.hits,
+            "mem_hits": self.mem_hits,
+            "disk_hits": self.disk_hits,
             "misses": self.misses,
+            "quarantined": self.quarantined,
             "sim_seconds": self.sim_seconds,
+            "cache_serve_seconds": self.cache_serve_seconds,
             "units": [dataclasses.asdict(r) for r in self.records],
             "failures": [dataclasses.asdict(f) for f in self.failures],
         }
@@ -160,28 +182,83 @@ def _execute_payload(unit: WorkUnit, attempt: int = 1, faults=None) -> dict:
     return result_to_json(execute(unit, attempt=attempt, faults=faults))
 
 
+def _virtual_launch_spans(payload: dict, anchor) -> None:
+    """Re-anchor a unit's simulated launch time onto the wall timeline.
+
+    The simulator's clock is virtual; to show "where the simulated time
+    went" on the same trace as engine scheduling, the aggregate launch
+    profile of a freshly-run unit is laid out at the wall time its
+    attempt span started: launch overhead first, then the kernel span.
+    """
+    tr = tspans.tracer()
+    profile = payload.get("profile")
+    if tr is None or anchor is None or not profile:
+        return
+    t0 = anchor.t0
+    overhead = float(profile.get("launch_overhead_s") or 0.0)
+    kernel_s = float(profile.get("total_s") or 0.0)
+    common = {
+        "device": profile.get("device"),
+        "api": profile.get("api"),
+        "virtual": True,
+    }
+    if overhead > 0:
+        tr.record_span(
+            f"{profile.get('api')} launch overhead", "launch",
+            t0, t0 + overhead, parent_id=anchor.span_id, **common,
+        )
+    tr.record_span(
+        str(profile.get("kernel")), "launch",
+        t0 + overhead, t0 + overhead + kernel_s,
+        parent_id=anchor.span_id,
+        bound=profile.get("bound_term") or profile.get("bound"),
+        dram_bytes=profile.get("dram_bytes"),
+        **common,
+    )
+
+
 def _worker_payload(
-    unit: WorkUnit, attempt: int, faults, timeout: Optional[float]
+    unit: WorkUnit,
+    attempt: int,
+    faults,
+    timeout: Optional[float],
+    span_ctx=None,
 ) -> dict:
     """Process-pool worker: never raises for ordinary failures.
 
     Returns ``{"ok": payload}`` or ``{"err": {...}}`` so a unit that
     throws (or times out) costs exactly one structured error instead of
     poisoning the pool; only a genuine process death breaks the pool.
+    Each response also carries the worker's telemetry — finished span
+    events (parented under ``span_ctx``) and a metrics-registry
+    snapshot — which the parent folds into its own run record.
     """
-    try:
-        with _deadline(timeout):
-            return {"ok": _execute_payload(unit, attempt, faults)}
-    except Exception as e:
-        return {
-            "err": {
+    tr = tspans.worker_tracer(span_ctx)
+    out: dict = {}
+    with metrics.use_registry() as reg, tspans.use_tracer(tr):
+        try:
+            with tspans.span(
+                "unit.attempt", "unit", label=unit.label(), attempt=attempt
+            ) as attempt_span:
+                with _deadline(timeout):
+                    payload = _execute_payload(unit, attempt, faults)
+                _virtual_launch_spans(payload, attempt_span)
+            out["ok"] = payload
+        except Exception as e:
+            out["err"] = {
                 "type": type(e).__name__,
                 "kind": classify(e).value,
                 "message": str(e),
                 "traceback": traceback.format_exc(),
                 "injected": is_injected(e) or _hang_induced(e, unit, faults),
             }
+        if tr is not None:
+            tr.finish()
+        out["telemetry"] = {
+            "spans": tr.export_events() if tr is not None else [],
+            "metrics": reg.snapshot(),
         }
+    return out
 
 
 def _hang_induced(e, unit: WorkUnit, faults) -> bool:
@@ -209,6 +286,7 @@ class SweepExecutor:
         retries: int = 2,
         backoff: float = 0.05,
         faults=None,
+        progress: bool = True,
     ) -> None:
         self.jobs = max(1, int(jobs))
         if cache is not None and not isinstance(cache, ResultCache):
@@ -224,9 +302,15 @@ class SweepExecutor:
             else faults_mod.from_env()
         )
         self.stats = SweepStats()
+        #: live progress meter during prewarm (TTY-gated; see telemetry)
+        self.progress = bool(progress)
+        self._progress_line: Optional[ProgressLine] = None
         self._mem: dict = {}  # digest -> payload
         self._digests: dict = {}  # WorkUnit -> digest
         self._failed: dict = {}  # digest -> FailedUnit (quarantined units)
+        if self.cache is not None:
+            # let the cache report quarantines into this sweep's stats
+            self.cache.stats = self.stats
 
     # -- lookup layers ----------------------------------------------------
     def digest_of(self, unit: WorkUnit) -> str:
@@ -255,6 +339,10 @@ class SweepExecutor:
             self.cache.put(digest, payload)
             if label and self.faults is not None and self.faults.corrupts(label):
                 faults_mod.corrupt_file(self.cache.path_for(digest))
+                metrics.counter("faults.injected.corrupt").inc()
+                tspans.event(
+                    "fault.injected", "fault", kind="corrupt", label=label,
+                )
 
     # -- failure bookkeeping ----------------------------------------------
     def _record_failure(
@@ -273,12 +361,21 @@ class SweepExecutor:
         )
         self.stats.failures.append(failed)
         self._failed[digest] = failed
-        print(
-            f"repro.exec: unit {failed.label} failed terminally "
+        metrics.counter(f"exec.failures.{kind}").inc()
+        if injected:
+            metrics.counter("exec.failures.injected").inc()
+        tspans.event(
+            "unit.failed", "unit", label=failed.label, kind=kind,
+            attempts=attempts, injected=injected, error=error,
+        )
+        log.warn(
+            "unit.failed",
+            f"unit {failed.label} failed terminally "
             f"({failed.kind}, attempt {attempts}"
             f"{', injected' if injected else ''}): {error}",
-            file=sys.stderr,
         )
+        if self._progress_line is not None:
+            self._progress_line.note_failure()
         return failed
 
     def _raise_failed(self, failed: FailedUnit):
@@ -299,9 +396,12 @@ class SweepExecutor:
         failed = self._failed.get(digest)
         if failed is not None:
             self._raise_failed(failed)
-        payload, source = self._lookup(digest)
-        if payload is None:
-            payload = self._simulate_with_retry(unit, digest)
+        with tspans.span("unit.serve", "unit", label=unit.label()) as serve:
+            payload, source = self._lookup(digest)
+            if payload is None:
+                payload = self._simulate_with_retry(unit, digest)
+            if serve is not None:
+                serve.attrs["source"] = source
         self.stats.record(
             unit, digest, time.perf_counter() - t0, payload["seconds"], source
         )
@@ -330,12 +430,26 @@ class SweepExecutor:
         while True:
             attempt += 1
             try:
-                with _deadline(self.timeout):
-                    payload = _execute_payload(unit, attempt, self.faults)
+                with tspans.span(
+                    "unit.attempt", "unit", label=unit.label(), attempt=attempt
+                ) as attempt_span:
+                    with _deadline(self.timeout):
+                        payload = _execute_payload(unit, attempt, self.faults)
+                    _virtual_launch_spans(payload, attempt_span)
             except Exception as e:
                 kind = classify(e)
                 if kind is FailureKind.TRANSIENT and attempt <= self.retries:
-                    time.sleep(self.backoff * (2 ** (attempt - 1)))
+                    delay = self.backoff * (2 ** (attempt - 1))
+                    metrics.counter("exec.retries").inc()
+                    tspans.event(
+                        "retry.backoff", "unit", label=unit.label(),
+                        attempt=attempt, sleep_s=delay,
+                    )
+                    log.info(
+                        "unit.retry", label=unit.label(), attempt=attempt,
+                        sleep_s=round(delay, 4), error=str(e),
+                    )
+                    time.sleep(delay)
                     continue
                 failed = self._record_failure(
                     unit, digest, kind=kind.value, error=str(e),
@@ -345,6 +459,7 @@ class SweepExecutor:
                 raise UnitFailed(
                     failed.label, kind, failed.error, injected=failed.injected
                 ) from e
+            metrics.histogram("exec.unit_sim_s").observe(payload["seconds"])
             self._store(digest, payload, unit.label())
             return payload
 
@@ -357,31 +472,60 @@ class SweepExecutor:
         remaining units always complete.
         """
         jobs = self.jobs if jobs is None else max(1, int(jobs))
+        units = list(units)
         todo: dict = {}
+        seen: set = set()
+        warm = 0
         for u in units:
             d = self.digest_of(u)
-            if d in todo or d in self._failed:
+            if d in seen:
+                continue
+            seen.add(d)
+            if d in self._failed:
                 continue
             payload, _ = self._lookup(d)
             if payload is None:
                 todo[d] = u
+            else:
+                warm += 1
         if not todo:
             return 0
-        if jobs > 1 and len(todo) > 1:
-            self._prewarm_parallel(todo, jobs)
-        # anything the pool could not produce runs sequentially — except
-        # quarantined units, which are never re-executed in-process
-        for d, u in todo.items():
-            if d in self._failed or self._lookup(d)[0] is not None:
-                continue
-            t0 = time.perf_counter()
-            try:
-                payload = self._simulate_with_retry(u, d)
-            except UnitFailed:
-                continue
-            self.stats.record(
-                u, d, time.perf_counter() - t0, payload["seconds"], "run"
-            )
+        prog = self._progress_line = ProgressLine(
+            len(seen), label="sweep"
+        ) if self.progress else None
+        if prog is not None:
+            for _ in range(warm):
+                prog.tick(hit=True)
+        try:
+            with tspans.span(
+                "sweep.prewarm", "engine",
+                units=len(seen), todo=len(todo), jobs=jobs,
+            ):
+                if jobs > 1 and len(todo) > 1:
+                    self._prewarm_parallel(todo, jobs)
+                # anything the pool could not produce runs sequentially —
+                # except quarantined units, which are never re-executed
+                # in-process
+                for d, u in todo.items():
+                    if d in self._failed or self._lookup(d)[0] is not None:
+                        continue
+                    t0 = time.perf_counter()
+                    try:
+                        payload = self._simulate_with_retry(u, d)
+                    except UnitFailed:
+                        # failure count was bumped by _record_failure;
+                        # the tick only advances done/total
+                        if prog is not None:
+                            prog.tick()
+                        continue
+                    wall = time.perf_counter() - t0
+                    self.stats.record(u, d, wall, payload["seconds"], "run")
+                    if prog is not None:
+                        prog.tick(seconds=wall)
+        finally:
+            if prog is not None:
+                prog.close()
+            self._progress_line = None
         return len(todo)
 
     # -- parallel fan-out --------------------------------------------------
@@ -412,6 +556,36 @@ class SweepExecutor:
         # leftovers (pathological pool churn) fall back to the
         # sequential path in prewarm(), which quarantine-guards them
 
+    def _span_ctx(self):
+        """The (trace_id, parent_span_id) pair shipped to pool workers."""
+        tr = tspans.tracer()
+        if tr is None:
+            return None
+        return (tr.trace_id, tspans.current_span_id())
+
+    def _tick_future(self, fut, digest: str, attempts: dict) -> None:
+        """Pool done-callback: advance the live progress meter.
+
+        Runs on the executor's callback thread as each future lands, so
+        the meter moves *during* a round, not after it.  Transient
+        failures that will be retried do not count as done.
+        """
+        prog = self._progress_line
+        if prog is None:
+            return
+        try:
+            out = fut.result()
+        except Exception:
+            prog.tick()  # crash suspect; the probe resolves its fate
+            return
+        if "ok" in out:
+            prog.tick(seconds=out["ok"]["seconds"])
+        elif (
+            out["err"]["kind"] != FailureKind.TRANSIENT.value
+            or attempts[digest] > self.retries
+        ):
+            prog.tick()
+
     def _pool_round(self, pending: dict, attempts: dict, jobs: int):
         """One submit/collect cycle; returns (retry, suspects) or None."""
         workers = min(jobs, len(pending), 32)
@@ -420,40 +594,51 @@ class SweepExecutor:
                 workers, initializer=faults_mod.mark_pool_worker
             )
         except _POOL_ERRORS as e:
-            print(
-                f"repro.exec: process pool unavailable ({e!r}); "
+            log.warn(
+                "pool.unavailable",
+                f"process pool unavailable ({e!r}); "
                 "falling back to sequential execution",
-                file=sys.stderr,
             )
             return None
+        metrics.counter("exec.pool.rounds").inc()
+        metrics.gauge("exec.pool.workers").set(workers)
         retry: dict = {}
         suspects: dict = {}
         futures: dict = {}
-        try:
-            for d, u in pending.items():
-                attempts[d] += 1
-                try:
-                    fut = pool.submit(
-                        _worker_payload, u, attempts[d], self.faults, self.timeout
+        with tspans.span(
+            "pool.round", "pool", workers=workers, pending=len(pending)
+        ):
+            span_ctx = self._span_ctx()
+            try:
+                for d, u in pending.items():
+                    attempts[d] += 1
+                    try:
+                        fut = pool.submit(
+                            _worker_payload, u, attempts[d], self.faults,
+                            self.timeout, span_ctx,
+                        )
+                    except concurrent.futures.BrokenExecutor:
+                        # pool died mid-submission; resubmit next round
+                        attempts[d] -= 1
+                        retry[d] = u
+                        continue
+                    futures[fut] = (d, u)
+                    fut.add_done_callback(
+                        lambda f, d=d: self._tick_future(f, d, attempts)
                     )
-                except concurrent.futures.BrokenExecutor:
-                    # pool died mid-submission; resubmit next round
-                    attempts[d] -= 1
-                    retry[d] = u
-                    continue
-                futures[fut] = (d, u)
-            concurrent.futures.wait(list(futures))
-            for fut, (d, u) in futures.items():
-                try:
-                    out = fut.result()
-                except _POOL_ERRORS:
-                    # the worker died under this unit *or* the unit was
-                    # collateral of a crash elsewhere — probe to find out
-                    suspects[d] = u
-                    continue
-                self._absorb(d, u, out, attempts, retry)
-        finally:
-            pool.shutdown(wait=True)
+                concurrent.futures.wait(list(futures))
+                for fut, (d, u) in futures.items():
+                    try:
+                        out = fut.result()
+                    except _POOL_ERRORS:
+                        # the worker died under this unit *or* the unit
+                        # was collateral of a crash elsewhere — probe to
+                        # find out
+                        suspects[d] = u
+                        continue
+                    self._absorb(d, u, out, attempts, retry)
+            finally:
+                pool.shutdown(wait=True)
         return retry, suspects
 
     def _probe_suspects(self, suspects: dict, attempts: dict, retry: dict) -> None:
@@ -465,30 +650,46 @@ class SweepExecutor:
         """
         for d, u in suspects.items():
             attempts[d] += 1
-            try:
-                with concurrent.futures.ProcessPoolExecutor(
-                    1, initializer=faults_mod.mark_pool_worker
-                ) as pool:
-                    out = pool.submit(
-                        _worker_payload, u, attempts[d], self.faults, self.timeout
-                    ).result()
-            except _POOL_ERRORS:
-                injected = (
-                    self.faults is not None
-                    and self.faults.planned(u.label(), "kill") is not None
-                )
-                self._record_failure(
-                    u, d, kind=FailureKind.CRASH.value,
-                    error="worker process died without reporting a result",
-                    tb="", attempts=attempts[d], injected=injected,
-                )
-                continue
-            self._absorb(d, u, out, attempts, retry)
+            with tspans.span("pool.probe", "pool", label=u.label()):
+                try:
+                    with concurrent.futures.ProcessPoolExecutor(
+                        1, initializer=faults_mod.mark_pool_worker
+                    ) as pool:
+                        out = pool.submit(
+                            _worker_payload, u, attempts[d], self.faults,
+                            self.timeout, self._span_ctx(),
+                        ).result()
+                except _POOL_ERRORS:
+                    injected = (
+                        self.faults is not None
+                        and self.faults.planned(u.label(), "kill") is not None
+                    )
+                    self._record_failure(
+                        u, d, kind=FailureKind.CRASH.value,
+                        error="worker process died without reporting a result",
+                        tb="", attempts=attempts[d], injected=injected,
+                    )
+                    continue
+                self._absorb(d, u, out, attempts, retry)
 
     def _absorb(self, d: str, u: WorkUnit, out: dict, attempts: dict, retry: dict):
-        """Fold one worker response into stats/cache/retry/quarantine."""
+        """Fold one worker response into stats/cache/retry/quarantine.
+
+        Also folds home the worker's telemetry: its finished span
+        events join this process's trace (their IDs are PID-prefixed,
+        their parent is the span that submitted them) and its metrics
+        snapshot merges into the process registry.
+        """
+        tele = out.get("telemetry")
+        if tele:
+            tr = tspans.tracer()
+            if tr is not None and tele.get("spans"):
+                tr.absorb(tele["spans"])
+            if tele.get("metrics"):
+                metrics.registry().merge_snapshot(tele["metrics"])
         if "ok" in out:
             payload = out["ok"]
+            metrics.histogram("exec.unit_sim_s").observe(payload["seconds"])
             self._store(d, payload, u.label())
             self.stats.record(
                 u, d, payload["seconds"], payload["seconds"], "run"
@@ -496,6 +697,14 @@ class SweepExecutor:
             return
         err = out["err"]
         if err["kind"] == FailureKind.TRANSIENT.value and attempts[d] <= self.retries:
+            metrics.counter("exec.retries").inc()
+            tspans.event(
+                "retry.backoff", "unit", label=u.label(), attempt=attempts[d],
+            )
+            log.info(
+                "unit.retry", label=u.label(), attempt=attempts[d],
+                error=err["message"],
+            )
             retry[d] = u
             return
         self._record_failure(

@@ -34,7 +34,9 @@ import sys
 import time
 
 from .. import exec as rexec
+from .. import telemetry
 from ..errors import ReproError
+from ..telemetry import spans as tspans
 from . import EXPERIMENTS
 
 __all__ = ["main", "run_experiment", "collect_units", "build_executor"]
@@ -88,6 +90,7 @@ def add_sweep_arguments(ap: argparse.ArgumentParser) -> None:
         "--sweep-json", default=None, metavar="FILE",
         help="write the sweep summary (per-unit timings, hit/miss) as JSON",
     )
+    telemetry.add_telemetry_arguments(ap)
 
 
 def build_executor(args) -> rexec.SweepExecutor:
@@ -99,26 +102,29 @@ def build_executor(args) -> rexec.SweepExecutor:
         cache=cache,
         timeout=getattr(args, "timeout", None),
         retries=getattr(args, "retries", 2),
+        progress=not getattr(args, "quiet", False),
     )
 
 
 def finish_sweep(args, executor: rexec.SweepExecutor) -> None:
     """Emit the sweep accounting the way the caller asked for it."""
+    from ..telemetry import log
+
     st = executor.stats
     if st.records:
-        print(
+        log.info(
+            "sweep.summary",
             f"sweep: {len(st.records)} unit requests, {st.hits} cache hits, "
             f"{st.misses} simulated ({st.sim_seconds:.1f}s simulation)",
-            file=sys.stderr,
         )
     if st.failures:
         from ..prof.report import render_failures
 
         injected = sum(1 for f in st.failures if f.injected)
-        print(
+        log.warn(
+            "sweep.failures",
             f"sweep: {len(st.failures)} unit(s) failed terminally "
             f"({injected} injected)",
-            file=sys.stderr,
         )
         print(render_failures(st), file=sys.stderr)
     if args.sweep_report and st.records:
@@ -152,12 +158,14 @@ def main(argv=None) -> int:
             )
     failures = 0
     aborted_unexpected = 0
-    with rexec.use_executor(build_executor(args)) as ex:
+    tr = telemetry.start_run(args, "repro.experiments")
+    with rexec.use_executor(build_executor(args)) as ex, tspans.use_tracer(tr):
         ex.prewarm(collect_units(names, args.size))
         for name in names:
             t0 = time.time()
             try:
-                res = run_experiment(name, size=args.size)
+                with tspans.span("experiment", "engine", experiment=name):
+                    res = run_experiment(name, size=args.size)
             except ReproError as e:
                 # a work unit this experiment needs failed terminally;
                 # report and move on — one bad unit must not kill the run
@@ -176,6 +184,11 @@ def main(argv=None) -> int:
             failures += len(res.failed_checks())
         finish_sweep(args, ex)
         unexpected = len(ex.stats.unexpected_failures())
+    telemetry.finish_run(
+        args, tr, "repro.experiments", executor=ex,
+        cache_dir=None if args.no_cache
+        else (args.cache_dir or rexec.default_cache_dir()),
+    )
     if failures:
         print(f"{failures} shape check(s) did not hold", file=sys.stderr)
     if unexpected or aborted_unexpected:

@@ -50,6 +50,8 @@ import time
 from typing import Optional, Sequence
 
 from ..errors import TransientError, WorkerCrash
+from ..telemetry import metrics
+from ..telemetry import spans as tspans
 
 __all__ = [
     "FaultRule",
@@ -139,6 +141,7 @@ class FaultInjector:
         for rule in self.rules:
             if rule.kind == "corrupt" or not self._rolls(rule, label):
                 continue
+            self._note(rule, label, attempt)
             if rule.kind == "raise":
                 raise InjectedFault(f"injected fault for {label}")
             if rule.kind == "transient":
@@ -157,6 +160,24 @@ class FaultInjector:
                 e = WorkerCrash(f"injected worker kill for {label}")
                 e.injected = True
                 raise e
+
+    def _note(self, rule: FaultRule, label: str, attempt: int) -> None:
+        """Record the firing on whatever telemetry is active here.
+
+        A ``transient`` rule only counts while it still fails the
+        attempt; a ``kill`` in a pool worker is about to ``os._exit``,
+        but the instant event still reaches the parent when the worker
+        dies *after* exporting (and the planned-fault accounting in the
+        engine covers the rest).
+        """
+        if rule.kind == "transient" and attempt > rule.attempts:
+            return
+        metrics.counter(f"faults.injected.{rule.kind}").inc()
+        tspans.event(
+            "fault.injected", "fault",
+            kind=rule.kind, label=label, pattern=rule.pattern,
+            attempt=attempt,
+        )
 
 
 def from_spec(spec) -> Optional[FaultInjector]:

@@ -160,6 +160,14 @@ def render_sweep(stats, title: str = "sweep") -> str:
         f"{'total simulation time':<{width}} {'':>8} "
         f"{_fmt_s(stats.sim_seconds):>12} {'':>10}"
     )
+    mem = getattr(stats, "mem_hits", None)
+    if mem is not None:
+        quarantined = getattr(stats, "quarantined", 0)
+        q = f", {quarantined} quarantined" if quarantined else ""
+        lines.append(
+            f"cache: {mem} memo hit(s), {stats.disk_hits} disk hit(s){q}, "
+            f"{_fmt_s(stats.cache_serve_seconds)} sim time served from cache"
+        )
     if fails:
         lines += ["", render_failures(stats)]
     return "\n".join(lines)

@@ -23,6 +23,8 @@ from ...kir.types import Scalar
 from ...prof.profile import LaunchProfile
 from ...ptx.module import PTXKernel
 from ...sim.device import LaunchFailure, LaunchResult, SimDevice
+from ...telemetry import metrics
+from ...telemetry.metrics import OVERHEAD_BUCKETS_S
 from ..overhead import cuda_launch_overhead_s
 
 __all__ = ["CudaContext", "CudaFunction", "CudaEvent", "DevicePointer", "CudaError"]
@@ -143,6 +145,11 @@ class CudaContext:
         except LaunchFailure as e:
             raise CudaError(str(e), code=e.code) from e
         overhead = cuda_launch_overhead_s(work_items)
+        metrics.counter("runtime.cuda.launches").inc()
+        metrics.counter("runtime.cuda.launch_overhead_s").inc(overhead)
+        metrics.histogram(
+            "runtime.cuda.overhead_s", OVERHEAD_BUCKETS_S
+        ).observe(overhead)
         if res.profile is not None:
             p = res.profile
             p.api = "cuda"

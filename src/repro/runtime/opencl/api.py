@@ -38,6 +38,8 @@ from ...kir.types import Scalar, sizeof
 from ...prof.profile import LaunchProfile
 from ...ptx.module import PTXKernel
 from ...sim.device import LaunchFailure, LaunchResult, SimDevice
+from ...telemetry import metrics
+from ...telemetry.metrics import OVERHEAD_BUCKETS_S
 from ..overhead import opencl_launch_overhead_s
 
 __all__ = [
@@ -357,6 +359,11 @@ class CommandQueue:
         }
         queued = self.now
         overhead = opencl_launch_overhead_s(total_items)
+        metrics.counter("runtime.opencl.launches").inc()
+        metrics.counter("runtime.opencl.launch_overhead_s").inc(overhead)
+        metrics.histogram(
+            "runtime.opencl.overhead_s", OVERHEAD_BUCKETS_S
+        ).observe(overhead)
         start = queued + overhead
         try:
             res = self.device.sim.launch(kernel.ptx, grid, ls, args)

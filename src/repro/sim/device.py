@@ -18,6 +18,7 @@ from ..errors import ReproError
 from ..kir.types import Scalar, np_dtype
 from ..prof.profile import LaunchProfile, build_launch_profile
 from ..ptx.module import PTXKernel
+from ..telemetry import metrics
 from .interp import LaunchStats, run_grid
 from .memory import FlatMemory, OutOfDeviceMemory
 from .memsys import MemorySystem
@@ -178,4 +179,8 @@ class SimDevice:
             timing=timing, stats=stats, occupancy=occ, profile=profile
         )
         self.launch_log.append((kernel.name, grid, block, timing.total_s))
+        metrics.counter("sim.launches").inc()
+        metrics.counter("sim.dram_bytes").inc(float(np.sum(dram)))
+        metrics.counter("sim.warp_instructions").inc(stats.warp_instructions)
+        metrics.histogram("sim.kernel_s").observe(timing.total_s)
         return result

@@ -1,0 +1,105 @@
+"""Shared CLI wiring for the telemetry layer.
+
+Both experiment-facing CLIs (``python -m repro.experiments`` and
+``python -m repro.benchsuite``) — and ``python -m repro.bench`` — get
+the same observability surface from two calls::
+
+    add_telemetry_arguments(ap)          # --quiet/--verbose/--trace/...
+    tr = start_run(args, "repro.experiments")
+    with use_tracer(tr):
+        ...                              # the actual run
+    finish_run(args, tr, "repro.experiments", executor, cache_dir)
+
+``finish_run`` closes the run span, writes the merged chrome trace
+(``--trace``), and drops the end-of-run :class:`RunManifest` next to
+the result cache (or wherever ``--manifest`` points).
+"""
+from __future__ import annotations
+
+import argparse
+import os
+import time
+from typing import Optional
+
+from . import log
+from .export import write_trace
+from .manifest import RunManifest, default_manifest_path
+from .spans import Tracer
+
+__all__ = ["add_telemetry_arguments", "start_run", "finish_run"]
+
+
+def add_telemetry_arguments(ap: argparse.ArgumentParser) -> None:
+    """The observability flags shared by every repro CLI."""
+    g = ap.add_mutually_exclusive_group()
+    g.add_argument(
+        "--quiet", action="store_true",
+        help="only warnings and errors on stderr; disables the progress meter",
+    )
+    g.add_argument(
+        "--verbose", action="store_true",
+        help="debug-level diagnostics on stderr",
+    )
+    ap.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write the merged run timeline (engine, cache, pool workers, "
+             "simulated kernels) as chrome://tracing JSON",
+    )
+    ap.add_argument(
+        "--events", default=None, metavar="FILE",
+        help="stream raw span/instant events to FILE as JSONL while running",
+    )
+    ap.add_argument(
+        "--manifest", default=None, metavar="FILE",
+        help="run-manifest path (default: <cache-dir>/manifests/<run-id>.json)",
+    )
+    ap.add_argument(
+        "--no-manifest", action="store_true",
+        help="skip writing the end-of-run manifest",
+    )
+
+
+def start_run(args, command: str) -> Tracer:
+    """Set log verbosity from the parsed args and open the run tracer."""
+    log.set_verbosity(
+        quiet=getattr(args, "quiet", False),
+        verbose=getattr(args, "verbose", False),
+    )
+    short = command.rsplit(".", 1)[-1]
+    run_id = f"{short}-{os.getpid()}-{int(time.time())}"
+    return Tracer(run_id=run_id, jsonl_path=getattr(args, "events", None))
+
+
+def finish_run(
+    args,
+    tr: Tracer,
+    command: str,
+    executor=None,
+    cache_dir: Optional[str] = None,
+):
+    """Close the run span; emit trace + manifest as the flags ask.
+
+    Returns the manifest path, or None when no manifest was written
+    (``--no-manifest``, or cache disabled with no explicit path to
+    write to).
+    """
+    tr.finish()
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        write_trace(tr.events, trace_path, process_name=command)
+        log.info(
+            "telemetry.trace",
+            f"wrote {len(tr.events)} events to {trace_path}",
+        )
+    if getattr(args, "no_manifest", False):
+        return None
+    path = getattr(args, "manifest", None)
+    if path is None:
+        if cache_dir is None:
+            return None
+        path = default_manifest_path(cache_dir, tr.trace_id)
+    sweep = executor.stats.summary() if executor is not None else {}
+    man = RunManifest.collect(command, run_id=tr.trace_id, sweep=sweep)
+    out = man.write(path)
+    log.debug("telemetry.manifest", f"run manifest written to {out}")
+    return out

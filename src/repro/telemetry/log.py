@@ -1,0 +1,107 @@
+"""Structured, level-gated diagnostics for the whole stack.
+
+Replaces the bare ``print(..., file=sys.stderr)`` calls that used to
+interleave into garbage under ``--jobs N``: every message is rendered
+to a *single* line and written with one ``stream.write`` call under a
+process-local lock, so concurrent emitters (pool callbacks, the
+progress thread) cannot shear each other mid-line.
+
+Messages are events with fields::
+
+    log.warn("cache.quarantine", entry=name, reason=reason)
+    # -> repro[warn] cache.quarantine: entry=... reason=...
+
+Every emitted event is also mirrored onto the active span tracer (when
+one is installed), so the JSONL event log and the chrome trace carry
+the same diagnostics the console showed.
+
+Verbosity: ``error`` < ``warn`` < ``info`` < ``debug``.  The default
+threshold is ``info``; CLI ``--quiet`` raises it to ``error``,
+``--verbose`` lowers it to ``debug``.
+"""
+from __future__ import annotations
+
+import sys
+import threading
+from typing import Optional
+
+from . import spans
+
+__all__ = [
+    "LEVELS",
+    "set_level",
+    "set_verbosity",
+    "level",
+    "log",
+    "debug",
+    "info",
+    "warn",
+    "error",
+]
+
+LEVELS = {"debug": 10, "info": 20, "warn": 30, "error": 40}
+
+_threshold = LEVELS["info"]
+_lock = threading.Lock()
+
+
+def set_level(name: str) -> None:
+    global _threshold
+    _threshold = LEVELS[name]
+
+
+def level() -> str:
+    for name, v in LEVELS.items():
+        if v == _threshold:
+            return name
+    return str(_threshold)
+
+
+def set_verbosity(quiet: bool = False, verbose: bool = False) -> None:
+    """Map the CLI ``--quiet``/``--verbose`` pair onto a threshold."""
+    set_level("error" if quiet else ("debug" if verbose else "info"))
+
+
+def _render(v) -> str:
+    s = str(v)
+    if " " in s or not s:
+        return repr(s)
+    return s
+
+
+def log(lvl: str, event: str, _msg: Optional[str] = None, **fields) -> None:
+    """Emit one structured diagnostic line (and a tracer instant event).
+
+    ``_msg`` is an optional free-text tail kept for messages the test
+    suite (and humans) match on; fields render as ``key=value`` pairs.
+    """
+    spans.event(f"log.{event}", cat="log", level=lvl, msg=_msg or "", **fields)
+    if LEVELS[lvl] < _threshold:
+        return
+    parts = [f"repro[{lvl}] {event}:"]
+    if _msg:
+        parts.append(_msg)
+    parts += [f"{k}={_render(v)}" for k, v in fields.items()]
+    line = " ".join(parts) + "\n"
+    with _lock:
+        try:
+            sys.stderr.write(line)
+            sys.stderr.flush()
+        except (OSError, ValueError):  # closed stream at interpreter exit
+            pass
+
+
+def debug(event: str, _msg: Optional[str] = None, **fields) -> None:
+    log("debug", event, _msg, **fields)
+
+
+def info(event: str, _msg: Optional[str] = None, **fields) -> None:
+    log("info", event, _msg, **fields)
+
+
+def warn(event: str, _msg: Optional[str] = None, **fields) -> None:
+    log("warn", event, _msg, **fields)
+
+
+def error(event: str, _msg: Optional[str] = None, **fields) -> None:
+    log("error", event, _msg, **fields)

@@ -1,0 +1,74 @@
+"""RunManifest: collection, JSON round-trip, and diff semantics."""
+import dataclasses
+
+from repro import faults
+from repro._version import __version__
+from repro.telemetry.manifest import (
+    RunManifest,
+    default_manifest_path,
+    git_sha,
+)
+
+
+def _collect(**kw):
+    return RunManifest.collect("repro.test", argv=["--size", "small"], **kw)
+
+
+def test_collect_pins_environment():
+    man = _collect()
+    assert man.command == "repro.test"
+    assert man.version == __version__
+    assert man.schema == 1
+    assert "GTX480" in man.devices
+    # the full DeviceSpec rides along, calibration constants included
+    spec = man.devices["GTX480"]
+    assert spec["compute_units"] > 0
+    assert "timing" in spec
+
+
+def test_round_trip_is_lossless(tmp_path):
+    man = _collect(sweep={"hits": 3, "misses": 1})
+    path = tmp_path / "m.json"
+    man.write(path)
+    back = RunManifest.load(path)
+    assert dataclasses.asdict(back) == dataclasses.asdict(man)
+
+
+def test_diff_ignores_volatile_identity_fields():
+    a = _collect()
+    b = _collect()
+    b.run_id = "other"
+    b.created_unix += 100
+    b.argv = ["totally", "different"]
+    b.metrics = {"x": {"type": "counter", "value": 1}}
+    assert a.diff(b) == {}
+
+
+def test_diff_names_real_disagreements():
+    a = _collect()
+    b = _collect()
+    b.version = "0.0.0"
+    d = a.diff(b)
+    assert set(d) == {"version"}
+    assert d["version"] == (a.version, "0.0.0")
+
+
+def test_fault_provenance_from_injector():
+    inj = faults.from_spec("seed=7;raise:MD/opencl*")
+    man = _collect(faults=inj)
+    assert man.fault_seed == 7
+    assert "MD/opencl*" in man.fault_spec
+
+
+def test_fault_provenance_from_env(monkeypatch):
+    monkeypatch.setenv("REPRO_FAULTS", "seed=9;transient:*:1.0:1")
+    man = _collect()
+    assert man.fault_seed == 9
+    assert man.fault_spec == "seed=9;transient:*:1.0:1"
+
+
+def test_git_sha_and_default_path(tmp_path):
+    sha = git_sha()
+    assert sha == "unknown" or len(sha) == 40
+    p = default_manifest_path(tmp_path, "run-1")
+    assert p == tmp_path / "manifests" / "run-1.json"

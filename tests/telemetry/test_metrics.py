@@ -1,0 +1,132 @@
+"""Metrics registry: instruments + the deterministic-merge property."""
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry import metrics as tm
+
+
+class TestInstruments:
+    def test_counter(self):
+        reg = tm.MetricsRegistry()
+        c = reg.counter("x")
+        c.inc()
+        c.inc(2.5)
+        assert reg.counter("x") is c
+        assert c.value == 3.5
+        assert c.as_dict() == {"type": "counter", "value": 3.5}
+
+    def test_gauge_high_water(self):
+        g = tm.MetricsRegistry().gauge("g")
+        g.set(4)
+        g.set(2)
+        g.add(1)
+        assert g.value == 3 and g.max == 4
+
+    def test_histogram_buckets(self):
+        h = tm.Histogram("h", boundaries=(1.0, 10.0))
+        for v in (0.5, 1.0, 5.0, 100.0):
+            h.observe(v)
+        # <=1, <=10, overflow
+        assert h.counts == [2, 1, 1]
+        assert h.count == 4 and h.min == 0.5 and h.max == 100.0
+        assert h.mean == pytest.approx(106.5 / 4)
+
+    def test_histogram_rejects_unsorted_boundaries(self):
+        with pytest.raises(ValueError, match="sorted"):
+            tm.Histogram("h", boundaries=(2.0, 1.0))
+
+    def test_histogram_redeclare_with_other_boundaries_is_error(self):
+        reg = tm.MetricsRegistry()
+        reg.histogram("h", boundaries=(1.0, 2.0))
+        with pytest.raises(ValueError, match="re-declared"):
+            reg.histogram("h", boundaries=(1.0, 3.0))
+
+    def test_use_registry_scopes_globals(self):
+        tm.counter("ambient").inc()
+        with tm.use_registry() as reg:
+            tm.counter("scoped").inc()
+            assert reg.get("ambient") is None
+        assert tm.registry().get("scoped") is None
+
+
+def _merge_all(snapshots, order):
+    reg = tm.MetricsRegistry()
+    for i in order:
+        reg.merge_snapshot(snapshots[i])
+    return reg.snapshot()
+
+
+@st.composite
+def worker_observations(draw):
+    """Per-worker lists of (counter bumps, gauge levels, histogram samples)."""
+    n_workers = draw(st.integers(min_value=1, max_value=4))
+    finite = st.floats(
+        min_value=0, max_value=1e6, allow_nan=False, allow_infinity=False
+    )
+    return [
+        {
+            "counts": draw(st.lists(finite, max_size=5)),
+            "levels": draw(st.lists(finite, max_size=5)),
+            "samples": draw(st.lists(finite, max_size=8)),
+        }
+        for _ in range(n_workers)
+    ]
+
+
+@settings(max_examples=60, deadline=None)
+@given(worker_observations(), st.randoms())
+def test_merge_order_never_changes_result(workers, rnd):
+    """ISSUE satellite: merging N worker registries is order-independent —
+    bucket counts, counter totals, and gauge high-water marks all match
+    whatever permutation the scheduler delivered them in."""
+    snapshots = []
+    for w in workers:
+        reg = tm.MetricsRegistry()
+        for v in w["counts"]:
+            reg.counter("c").inc(v)
+        for v in w["levels"]:
+            reg.gauge("g").set(v)
+        for v in w["samples"]:
+            reg.histogram("h", boundaries=tm.TIME_BUCKETS_S).observe(v)
+        snapshots.append(reg.snapshot())
+
+    order = list(range(len(snapshots)))
+    forward = _merge_all(snapshots, order)
+    rnd.shuffle(order)
+    shuffled = _merge_all(snapshots, order)
+
+    # histograms: bucket counts identical, not just approximately
+    for name in ("c", "g", "h"):
+        a, b = forward.get(name), shuffled.get(name)
+        if a is None:
+            assert b is None
+            continue
+        if a["type"] == "histogram":
+            assert a["counts"] == b["counts"]
+            assert a["count"] == b["count"]
+            assert a["min"] == b["min"] and a["max"] == b["max"]
+            assert a["sum"] == pytest.approx(b["sum"], rel=1e-12, abs=1e-12)
+        elif a["type"] == "counter":
+            assert a["value"] == pytest.approx(b["value"], rel=1e-12, abs=1e-12)
+        else:
+            assert a["max"] == b["max"]
+
+
+def test_merge_creates_missing_metrics_and_rejects_boundary_mismatch():
+    a = tm.MetricsRegistry()
+    b = tm.MetricsRegistry()
+    b.counter("only.b").inc(3)
+    b.histogram("h", boundaries=(1.0, 2.0)).observe(1.5)
+    a.merge_snapshot(b.snapshot())
+    assert a.counter("only.b").value == 3
+    c = tm.MetricsRegistry()
+    c.histogram("h", boundaries=(5.0, 6.0)).observe(5.5)
+    with pytest.raises(ValueError):
+        c.merge_snapshot(b.snapshot())
+
+
+def test_unknown_instrument_type_is_skipped_not_fatal():
+    reg = tm.MetricsRegistry()
+    reg.merge_snapshot({"weird": {"type": "summary", "value": 1}})
+    assert reg.get("weird") is None
