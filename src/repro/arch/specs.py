@@ -123,6 +123,20 @@ class DeviceSpec:
     def supports_cuda(self) -> bool:
         return self.vendor == "NVIDIA"
 
+    def launch_reg_budget(self, wg_hint: int) -> int:
+        """Per-thread register budget the front ends compile against.
+
+        nvcc-style launch bounds: the budget respects both the hard
+        per-thread ceiling and the register file at the kernel's
+        intended block size.  Shared by both runtimes *and* by the
+        sweep engine's ABT preflight guard, so a preflight verdict is
+        computed against exactly the registers the real build gets.
+        """
+        return min(
+            self.max_regs_per_thread,
+            max(16, self.regfile_per_cu // max(wg_hint, 32)),
+        )
+
 
 GTX480 = DeviceSpec(
     name="GTX480",

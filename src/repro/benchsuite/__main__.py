@@ -7,15 +7,24 @@ Runs go through the :mod:`repro.exec` sweep engine: each (benchmark,
 api) pair is one work unit, cold units fan out over ``--jobs`` worker
 processes, and results are memoized in the content-addressed cache
 (disable with ``--no-cache``).
+
+The run is crash-safe: a journal under the cache dir records every
+unit start/finish, SIGINT/SIGTERM drain gracefully (exit 75 =
+resumable), and ``--resume`` reruns only what the interrupted run did
+not finish.  ``--results-json`` writes a canonical, wall-clock-free
+result document that is byte-identical however the results were
+obtained (cold, warm, parallel, or interrupted-then-resumed).
 """
 from __future__ import annotations
 
 import argparse
+import sys
 
 from .. import exec as rexec
 from .. import telemetry
 from ..arch.specs import ALL_DEVICES
-from ..errors import UnitFailed
+from ..errors import SweepInterrupted, UnitFailed
+from ..exec import lifecycle
 from ..telemetry import spans as tspans
 from .registry import REAL_WORLD, REGISTRY, SYNTHETIC
 
@@ -50,6 +59,12 @@ def main(argv=None) -> int:
         "--retries", type=int, default=2, metavar="N",
         help="retry a unit up to N times on transient failures (default 2)",
     )
+    ap.add_argument(
+        "--results-json", default=None, metavar="FILE",
+        help="write all results as canonical JSON (deterministic bytes; "
+        "skipped when the run is interrupted)",
+    )
+    lifecycle.add_lifecycle_arguments(ap)
     telemetry.add_telemetry_arguments(ap)
     args = ap.parse_args(argv)
 
@@ -63,10 +78,18 @@ def main(argv=None) -> int:
         apis = ["opencl"]
 
     cache = None if args.no_cache else (args.cache_dir or rexec.default_cache_dir())
+    tr = telemetry.start_run(args, "repro.benchsuite")
+    journal, replay = lifecycle.open_journal(
+        args, cache, tr.trace_id, "repro.benchsuite", argv
+    )
     executor = rexec.SweepExecutor(
         jobs=args.jobs, cache=cache, timeout=args.timeout,
         retries=args.retries, progress=not args.quiet,
+        journal=journal, resumed=replay,
+        preflight=not args.no_preflight, grace=args.grace,
     )
+    if replay is not None and executor.cache is not None:
+        executor.cache.purge_tmp()
     units = [
         rexec.make_unit(name, api, spec, args.size)
         for name in names
@@ -77,12 +100,13 @@ def main(argv=None) -> int:
           f"{'kernel':>10s} {'status':6s}")
     print("-" * 66)
     rc = 0
-    tr = telemetry.start_run(args, "repro.benchsuite")
-    with rexec.use_executor(executor), tspans.use_tracer(tr):
+    results = []
+    with rexec.use_executor(executor), tspans.use_tracer(tr), \
+            lifecycle.GracefulShutdown(executor, grace=args.grace) as shutdown:
         executor.prewarm(units)
         for unit in units:
             try:
-                r = executor.run_unit(unit).bench
+                ur = executor.run_unit(unit)
             except UnitFailed as e:
                 # terminal engine failure (crash/timeout/...): one row,
                 # not a dead CLI — the remaining units still run
@@ -92,6 +116,16 @@ def main(argv=None) -> int:
                     f"{'-':>10s} {e.kind.value:6s}"
                 )
                 continue
+            except SweepInterrupted:
+                # draining: this unit is cold and stays that way;
+                # --resume will simulate it
+                print(
+                    f"{unit.benchmark:10s} {unit.api:7s} {'-':>12s} {'-':14s} "
+                    f"{'-':>10s} {'INT':6s}"
+                )
+                continue
+            results.append(ur)
+            r = ur.bench
             status = "ok" if r.ok() else (r.failure or "FL")
             if not r.ok():
                 rc = 1
@@ -107,10 +141,28 @@ def main(argv=None) -> int:
             from ..prof.report import render_failures
 
             print(render_failures(executor.stats))
+    interrupted = shutdown.interrupted or executor.draining
+    state, code = lifecycle.run_outcome(interrupted, rc)
+    if journal is not None:
+        journal.close(state)
+    if interrupted:
+        tr.abandon("interrupted")
+        print(
+            f"run interrupted; resume with: --resume {tr.trace_id}",
+            file=sys.stderr,
+        )
+    elif args.results_json:
+        # only a *complete* run writes the canonical artifact: a partial
+        # document must never masquerade as the sweep's results
+        with open(args.results_json, "w") as f:
+            f.write(rexec.canonical_results_json(results))
     telemetry.finish_run(
-        args, tr, "repro.benchsuite", executor=executor, cache_dir=cache
+        args, tr, "repro.benchsuite", executor=executor, cache_dir=cache,
+        lifecycle=lifecycle.lifecycle_summary(
+            state, code, journal=journal, replay=replay, executor=executor
+        ),
     )
-    return rc
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -32,6 +32,7 @@ __all__ = [
     "WorkerCrash",
     "CacheCorruptionError",
     "UnitFailed",
+    "SweepInterrupted",
     "ABORT_CODES",
     "classify",
     "is_injected",
@@ -148,6 +149,23 @@ class UnitFailed(ReproError):
         self.label = label
         self.kind = kind
         self.injected = injected
+
+
+class SweepInterrupted(ReproError):
+    """The run is draining after SIGINT/SIGTERM: no new work is admitted.
+
+    Raised when a work unit is requested while the engine is shutting
+    down gracefully and the unit is not already cached.  This is not a
+    unit failure — the unit was never attempted — so it carries no
+    :class:`FailureKind` beyond the default; callers translate it into
+    the interrupted-resumable exit code (see ``repro.exec.lifecycle``).
+    """
+
+    def __init__(self, label: str = "", message: str = ""):
+        super().__init__(
+            message or f"sweep draining; {label or 'unit'} not admitted"
+        )
+        self.label = label
 
 
 def classify(exc: BaseException) -> FailureKind:

@@ -24,17 +24,30 @@ from typing import Mapping, Optional
 from .cache import (
     SCHEMA_VERSION,
     ResultCache,
+    canonical_payload,
+    canonical_results_json,
     default_cache_dir,
     result_from_json,
     result_to_json,
     validate_payload,
 )
 from .engine import FailedUnit, SweepExecutor, SweepStats, UnitRecord
+from .journal import JournalReplay, RunJournal, journal_dir, latest_resumable
+from .lifecycle import (
+    EXIT_CLEAN,
+    EXIT_FAILED,
+    EXIT_INTERRUPTED,
+    GracefulShutdown,
+    PreflightVerdict,
+    preflight_unit,
+    run_outcome,
+)
 from .unit import (
     UnitResult,
     WorkUnit,
     execute,
     make_unit,
+    unit_build,
     unit_digest,
     unit_fingerprint,
 )
@@ -43,6 +56,7 @@ __all__ = [
     "WorkUnit",
     "UnitResult",
     "make_unit",
+    "unit_build",
     "unit_digest",
     "unit_fingerprint",
     "execute",
@@ -50,12 +64,25 @@ __all__ = [
     "default_cache_dir",
     "result_to_json",
     "result_from_json",
+    "canonical_payload",
+    "canonical_results_json",
     "validate_payload",
     "SCHEMA_VERSION",
     "SweepExecutor",
     "SweepStats",
     "UnitRecord",
     "FailedUnit",
+    "RunJournal",
+    "JournalReplay",
+    "journal_dir",
+    "latest_resumable",
+    "EXIT_CLEAN",
+    "EXIT_FAILED",
+    "EXIT_INTERRUPTED",
+    "GracefulShutdown",
+    "PreflightVerdict",
+    "preflight_unit",
+    "run_outcome",
     "active",
     "use_executor",
     "run_unit",

@@ -35,6 +35,8 @@ __all__ = [
     "ResultCache",
     "result_to_json",
     "result_from_json",
+    "canonical_payload",
+    "canonical_results_json",
     "validate_payload",
     "default_cache_dir",
     "SCHEMA_VERSION",
@@ -145,6 +147,35 @@ def result_from_json(payload: dict, cached: bool = False) -> UnitResult:
     )
 
 
+def canonical_payload(payload: dict) -> dict:
+    """A copy of ``payload`` with its wall-clock fields zeroed.
+
+    Everything in a unit result is virtual-clock deterministic *except*
+    ``seconds`` (host wall time of the simulation) and the profile's
+    ``compile_s`` (front-end wall time).  Zeroing exactly those two
+    makes results comparable byte-for-byte across independent runs —
+    the contract the resume acceptance test holds the journal to.
+    """
+    out = json.loads(json.dumps(payload))
+    out["seconds"] = 0.0
+    if isinstance(out.get("profile"), dict):
+        out["profile"]["compile_s"] = 0.0
+    return out
+
+
+def canonical_results_json(results) -> str:
+    """Render a sweep's results as a deterministic JSON document.
+
+    Sorted by unit identity, wall-clock fields zeroed, stable key
+    order: two runs that computed the same results — cold, warm,
+    parallel, or interrupted-then-resumed — produce identical bytes.
+    """
+    rows = [canonical_payload(result_to_json(r)) for r in results]
+    rows.sort(key=lambda p: json.dumps(p["unit"], sort_keys=True))
+    doc = {"schema": SCHEMA_VERSION, "results": rows}
+    return json.dumps(doc, sort_keys=True, indent=2) + "\n"
+
+
 class ResultCache:
     """A content-addressed directory of unit results."""
 
@@ -212,14 +243,62 @@ class ResultCache:
         return dst
 
     def put(self, digest: str, payload: dict) -> None:
+        """Atomically (and durably) install one entry.
+
+        The payload is written to a pid-suffixed tmp file, fsynced, and
+        ``os.replace``d into place: a reader never sees a torn entry,
+        and a process killed mid-write leaves only a tmp file (removed
+        here on error and swept by :meth:`purge_tmp`).  The fsync
+        before the rename is what lets the run journal's ``done``
+        record trust the entry across a crash.
+        """
         path = self._path(digest)
         with tspans.span("cache.put", "cache", digest=digest[:8]):
             path.parent.mkdir(parents=True, exist_ok=True)
             tmp = path.with_suffix(f".tmp.{os.getpid()}")
-            with open(tmp, "w") as f:
-                json.dump(payload, f)
-            os.replace(tmp, path)
+            try:
+                with open(tmp, "w") as f:
+                    json.dump(payload, f)
+                    f.flush()
+                    try:
+                        os.fsync(f.fileno())
+                    except OSError:
+                        pass  # exotic fs; the rename is still atomic
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
             metrics.counter("cache.puts").inc()
+
+    def purge_tmp(self) -> int:
+        """Remove tmp files orphaned by killed writers; returns the count.
+
+        Safe against live writers in *this* process (their tmp names
+        carry this pid); concurrent sweeps in other processes write and
+        rename fast enough that a stale tmp is overwhelmingly a corpse.
+        """
+        removed = 0
+        if not self.root.exists():
+            return 0
+        own = f".tmp.{os.getpid()}"
+        for tmp in self.root.glob("[0-9a-f][0-9a-f]/*.tmp.*"):
+            if tmp.name.endswith(own):
+                continue
+            try:
+                tmp.unlink()
+                removed += 1
+            except OSError:
+                pass
+        if removed:
+            metrics.counter("cache.tmp_purged").inc(removed)
+            log.info(
+                "cache.purge_tmp",
+                f"removed {removed} orphaned tmp file(s) from {self.root}",
+            )
+        return removed
 
     def __contains__(self, digest: str) -> bool:
         return self._path(digest).exists()

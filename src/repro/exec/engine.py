@@ -31,6 +31,22 @@ Partial failure degrades gracefully instead of killing the sweep:
   requests raise :class:`~repro.errors.UnitFailed` instead of
   re-executing the poison (in particular, the sequential fallback
   never re-runs a unit that just killed a worker).
+
+Crash-safety (see :mod:`repro.exec.lifecycle` / :mod:`repro.exec.journal`):
+
+* an optional :class:`~repro.exec.journal.RunJournal` receives a
+  fsynced ``start``/``done``/``fail`` record around every execution, so
+  a killed process leaves a replayable record of exactly which units
+  were in flight;
+* :meth:`SweepExecutor.request_drain` (wired to SIGINT/SIGTERM by
+  :class:`~repro.exec.lifecycle.GracefulShutdown`) stops admission:
+  in-flight units get a bounded grace period, everything else is left
+  for a ``--resume`` rerun;
+* an ABT *preflight guard* classifies cold units that would abort at
+  enqueue (Table VI "ABT") before any launch, via the same admission
+  function the simulator applies;
+* repeated broken-pool incidents demote the run to sequential
+  execution (*degraded mode*) instead of churning through doomed pools.
 """
 from __future__ import annotations
 
@@ -44,7 +60,14 @@ import traceback
 from typing import Iterable, Optional, Sequence
 
 from .. import faults as faults_mod
-from ..errors import FailureKind, UnitFailed, UnitTimeout, classify, is_injected
+from ..errors import (
+    FailureKind,
+    SweepInterrupted,
+    UnitFailed,
+    UnitTimeout,
+    classify,
+    is_injected,
+)
 from ..telemetry import log, metrics
 from ..telemetry import spans as tspans
 from ..telemetry.progress import ProgressLine
@@ -54,6 +77,21 @@ from .unit import UnitResult, WorkUnit, execute, unit_digest
 __all__ = ["SweepExecutor", "SweepStats", "UnitRecord", "FailedUnit"]
 
 _POOL_ERRORS = (OSError, concurrent.futures.BrokenExecutor, RuntimeError)
+
+
+def _pool_worker_init() -> None:
+    """Initializer for every pool worker process.
+
+    Marks the process as a pool worker (fault-injection attribution)
+    and ignores SIGINT: a terminal Ctrl-C reaches the whole foreground
+    process group, and the drain protocol wants workers to *finish*
+    their in-flight unit while the parent stops admission.
+    """
+    faults_mod.mark_pool_worker()
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):
+        pass
 
 
 @dataclasses.dataclass
@@ -89,6 +127,17 @@ class SweepStats:
         self.failures: list[FailedUnit] = []
         #: corrupt cache entries moved aside while serving this sweep
         self.quarantined = 0
+        #: preflight verdicts for units predicted to abort at enqueue
+        #: (Table VI "ABT"), as dicts; empty when the guard is off
+        self.preflight: list = []
+        #: units the preflight guard examined
+        self.preflight_checked = 0
+        #: set when degraded mode kicked in: {"incidents": n, "reason": s}
+        self.demoted: Optional[dict] = None
+        #: set when this run resumed a journal: the replay's summary()
+        self.resumed: Optional[dict] = None
+        #: completed units served from cache thanks to the resumed journal
+        self.resumed_hits = 0
 
     def record(
         self, unit: WorkUnit, digest: str, seconds: float,
@@ -142,6 +191,11 @@ class SweepStats:
             "quarantined": self.quarantined,
             "sim_seconds": self.sim_seconds,
             "cache_serve_seconds": self.cache_serve_seconds,
+            "preflight_checked": self.preflight_checked,
+            "preflight_abt": self.preflight,
+            "demoted": self.demoted,
+            "resumed": self.resumed,
+            "resumed_hits": self.resumed_hits,
             "units": [dataclasses.asdict(r) for r in self.records],
             "failures": [dataclasses.asdict(f) for f in self.failures],
         }
@@ -287,6 +341,11 @@ class SweepExecutor:
         backoff: float = 0.05,
         faults=None,
         progress: bool = True,
+        journal=None,
+        resumed=None,
+        preflight: bool = True,
+        grace: float = 30.0,
+        demote_after: int = 3,
     ) -> None:
         self.jobs = max(1, int(jobs))
         if cache is not None and not isinstance(cache, ResultCache):
@@ -308,9 +367,93 @@ class SweepExecutor:
         self._mem: dict = {}  # digest -> payload
         self._digests: dict = {}  # WorkUnit -> digest
         self._failed: dict = {}  # digest -> FailedUnit (quarantined units)
+        #: optional RunJournal receiving start/done/fail records
+        self.journal = journal
+        #: JournalReplay this run resumes, when any
+        self.resumed = resumed
+        self._resumed_done: set = set(resumed.completed) if resumed else set()
+        if resumed is not None:
+            self.stats.resumed = resumed.summary()
+        #: run the ABT preflight guard over cold units before launching
+        self.preflight = bool(preflight)
+        self.grace = max(0.0, float(grace))
+        #: broken-pool incidents before demoting to sequential execution
+        self.demote_after = max(1, int(demote_after))
+        self._pool_incidents = 0
+        self._drain = threading.Event()
+        self._drain_deadline = float("inf")
         if self.cache is not None:
             # let the cache report quarantines into this sweep's stats
             self.cache.stats = self.stats
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        """True once a drain was requested: no new work is admitted."""
+        return self._drain.is_set()
+
+    @property
+    def demoted(self) -> bool:
+        """True once degraded mode demoted the run to sequential."""
+        return self.stats.demoted is not None
+
+    def request_drain(self, grace: Optional[float] = None) -> None:
+        """Stop admitting work; in-flight units get ``grace`` seconds.
+
+        Thread- and signal-safe (it only sets an Event and a deadline);
+        called by :class:`~repro.exec.lifecycle.GracefulShutdown` from
+        the SIGINT/SIGTERM handler.  Idempotent: the first call wins.
+        """
+        if self._drain.is_set():
+            return
+        g = self.grace if grace is None else max(0.0, float(grace))
+        self._drain_deadline = time.monotonic() + g
+        self._drain.set()
+        metrics.counter("exec.drain").inc()
+        tspans.event("sweep.drain", "engine", grace=g)
+
+    def _grace_expired(self) -> bool:
+        return self._drain.is_set() and time.monotonic() > self._drain_deadline
+
+    def _note_pool_incident(self, n: int, reason: str) -> None:
+        """Count broken-pool incidents; demote past the threshold."""
+        if n <= 0:
+            return
+        self._pool_incidents += n
+        metrics.counter("exec.pool.incidents").inc(n)
+        if self.demoted or self._pool_incidents < self.demote_after:
+            return
+        self._demote(reason)
+
+    def _demote(self, reason: str) -> None:
+        """Degraded mode: finish the run sequentially, permanently."""
+        if self.demoted:
+            return
+        self.jobs = 1
+        self.stats.demoted = {
+            "incidents": self._pool_incidents, "reason": reason,
+        }
+        metrics.counter("exec.demotions").inc()
+        tspans.event(
+            "sweep.demoted", "engine",
+            incidents=self._pool_incidents, reason=reason,
+        )
+        log.warn(
+            "sweep.demoted",
+            f"degraded mode: {self._pool_incidents} broken-pool incidents "
+            f"({reason}); finishing the run sequentially",
+        )
+        if self.journal is not None:
+            self.journal.record_demote(self._pool_incidents, reason)
+
+    # -- journal hooks -----------------------------------------------------
+    def _jstart(self, digest: str, unit: WorkUnit, attempt: int) -> None:
+        if self.journal is not None:
+            self.journal.record_start(digest, unit.label(), attempt)
+
+    def _jdone(self, digest: str, source: str = "run") -> None:
+        if self.journal is not None:
+            self.journal.record_done(digest, source)
 
     # -- lookup layers ----------------------------------------------------
     def digest_of(self, unit: WorkUnit) -> str:
@@ -361,6 +504,8 @@ class SweepExecutor:
         )
         self.stats.failures.append(failed)
         self._failed[digest] = failed
+        if self.journal is not None:
+            self.journal.record_fail(digest, kind, injected)
         metrics.counter(f"exec.failures.{kind}").inc()
         if injected:
             metrics.counter("exec.failures.injected").inc()
@@ -399,6 +544,10 @@ class SweepExecutor:
         with tspans.span("unit.serve", "unit", label=unit.label()) as serve:
             payload, source = self._lookup(digest)
             if payload is None:
+                if self.draining:
+                    # no new admissions during a drain; the journal's
+                    # missing `done` record re-enqueues this on --resume
+                    raise SweepInterrupted(unit.label())
                 payload = self._simulate_with_retry(unit, digest)
             if serve is not None:
                 serve.attrs["source"] = source
@@ -422,6 +571,10 @@ class SweepExecutor:
                 out.append(self.run_unit(u))
             except UnitFailed:
                 pass
+            except SweepInterrupted:
+                # draining: cached units keep serving, cold ones are
+                # left for --resume
+                continue
         return out
 
     def _simulate_with_retry(self, unit: WorkUnit, digest: str) -> dict:
@@ -429,6 +582,7 @@ class SweepExecutor:
         attempt = 0
         while True:
             attempt += 1
+            self._jstart(digest, unit, attempt)
             try:
                 with tspans.span(
                     "unit.attempt", "unit", label=unit.label(), attempt=attempt
@@ -461,6 +615,9 @@ class SweepExecutor:
                 ) from e
             metrics.histogram("exec.unit_sim_s").observe(payload["seconds"])
             self._store(digest, payload, unit.label())
+            # the result is durably in the cache before the journal says
+            # done — a crash between the two re-runs, never fabricates
+            self._jdone(digest)
             return payload
 
     def prewarm(self, units: Sequence[WorkUnit], jobs: Optional[int] = None):
@@ -488,8 +645,15 @@ class SweepExecutor:
                 todo[d] = u
             else:
                 warm += 1
+                if d in self._resumed_done:
+                    self.stats.resumed_hits += 1
+                    metrics.counter("exec.resume.hits").inc()
+        if self.journal is not None:
+            self.journal.record_plan(len(seen), len(todo))
         if not todo:
             return 0
+        if self.preflight:
+            self._preflight(todo)
         prog = self._progress_line = ProgressLine(
             len(seen), label="sweep"
         ) if self.progress else None
@@ -501,12 +665,14 @@ class SweepExecutor:
                 "sweep.prewarm", "engine",
                 units=len(seen), todo=len(todo), jobs=jobs,
             ):
-                if jobs > 1 and len(todo) > 1:
-                    self._prewarm_parallel(todo, jobs)
+                if jobs > 1 and len(todo) > 1 and not self.draining:
+                    self._prewarm_parallel(todo, min(jobs, self.jobs))
                 # anything the pool could not produce runs sequentially —
                 # except quarantined units, which are never re-executed
                 # in-process
                 for d, u in todo.items():
+                    if self.draining:
+                        break  # stop admission; --resume picks these up
                     if d in self._failed or self._lookup(d)[0] is not None:
                         continue
                     t0 = time.perf_counter()
@@ -528,6 +694,36 @@ class SweepExecutor:
             self._progress_line = None
         return len(todo)
 
+    def _preflight(self, todo: dict) -> None:
+        """Classify cold units that would abort at enqueue, before launch.
+
+        Advisory by design: a would-ABT unit still executes (its cached
+        BenchResult carries the Table VI failure tag either way), so
+        results are identical with the guard on or off — the guard's
+        value is the *early*, pre-launch report and the structured
+        verdicts in ``stats.preflight``.
+        """
+        from .lifecycle import preflight_unit
+
+        with tspans.span("sweep.preflight", "engine", units=len(todo)):
+            for u in todo.values():
+                v = preflight_unit(u)
+                self.stats.preflight_checked += 1
+                metrics.counter("exec.preflight.checked").inc()
+                if not v.would_abt:
+                    continue
+                self.stats.preflight.append(v.as_dict())
+                tspans.event(
+                    "preflight.abt", "engine", label=v.label, code=v.code,
+                    kernel=v.kernel,
+                )
+                log.info(
+                    "preflight.abt",
+                    f"{v.label}: kernel {v.kernel!r} would abort at enqueue "
+                    f"({v.code}: {v.registers} regs, {v.shared_bytes} B "
+                    f"local, {v.threads} threads)",
+                )
+
     # -- parallel fan-out --------------------------------------------------
     def _prewarm_parallel(self, todo: dict, jobs: int) -> None:
         """Pool rounds with per-future error collection and crash probing.
@@ -541,14 +737,18 @@ class SweepExecutor:
         attempts = {d: 0 for d in pending}
         max_rounds = self.retries + 4  # transient budget + crash-probe slack
         for _ in range(max_rounds):
-            if not pending:
+            if not pending or self.draining or self.demoted:
                 return
             outcome = self._pool_round(pending, attempts, jobs)
             if outcome is None:
                 return  # no pool available: sequential fallback takes over
             retry, suspects = outcome
             if suspects:
+                # a broken pool is one incident, whatever its blast radius
+                self._note_pool_incident(1, "worker death broke the pool")
                 self._probe_suspects(suspects, attempts, retry)
+            if self.demoted:
+                return  # leftovers run on the sequential path
             if retry:
                 worst = max(attempts[d] for d in retry)
                 time.sleep(self.backoff * (2 ** max(0, worst - 1)))
@@ -591,7 +791,7 @@ class SweepExecutor:
         workers = min(jobs, len(pending), 32)
         try:
             pool = concurrent.futures.ProcessPoolExecutor(
-                workers, initializer=faults_mod.mark_pool_worker
+                workers, initializer=_pool_worker_init
             )
         except _POOL_ERRORS as e:
             log.warn(
@@ -599,6 +799,9 @@ class SweepExecutor:
                 f"process pool unavailable ({e!r}); "
                 "falling back to sequential execution",
             )
+            # no pool will ever materialise here; demote outright so the
+            # rest of the run doesn't retry doomed pool creation
+            self._note_pool_incident(self.demote_after, f"pool unavailable: {e!r}")
             return None
         metrics.counter("exec.pool.rounds").inc()
         metrics.gauge("exec.pool.workers").set(workers)
@@ -609,8 +812,11 @@ class SweepExecutor:
             "pool.round", "pool", workers=workers, pending=len(pending)
         ):
             span_ctx = self._span_ctx()
+            hard_stop = False
             try:
                 for d, u in pending.items():
+                    if self.draining:
+                        break  # queued-but-unsubmitted units stay cold
                     attempts[d] += 1
                     try:
                         fut = pool.submit(
@@ -622,12 +828,30 @@ class SweepExecutor:
                         attempts[d] -= 1
                         retry[d] = u
                         continue
+                    self._jstart(d, u, attempts[d])
                     futures[fut] = (d, u)
                     fut.add_done_callback(
                         lambda f, d=d: self._tick_future(f, d, attempts)
                     )
-                concurrent.futures.wait(list(futures))
+                # poll instead of a single blocking wait so a drain
+                # request can cancel queued work and bound the grace
+                # period for whatever is already on a worker
+                not_done = set(futures)
+                while not_done:
+                    done, not_done = concurrent.futures.wait(
+                        not_done, timeout=0.2
+                    )
+                    if self.draining:
+                        for f in not_done:
+                            f.cancel()  # only dequeues; running ones stay
+                    if self._grace_expired() and any(
+                        not f.done() for f in not_done
+                    ):
+                        hard_stop = True
+                        break
                 for fut, (d, u) in futures.items():
+                    if fut.cancelled() or not fut.done():
+                        continue  # drained; journal start without done
                     try:
                         out = fut.result()
                     except _POOL_ERRORS:
@@ -638,7 +862,21 @@ class SweepExecutor:
                         continue
                     self._absorb(d, u, out, attempts, retry)
             finally:
-                pool.shutdown(wait=True)
+                if hard_stop:
+                    # grace exhausted: stop waiting on stuck workers and
+                    # reap them; their units replay as in-flight on resume
+                    for p in list(getattr(pool, "_processes", {}).values()):
+                        try:
+                            p.terminate()
+                        except (OSError, AttributeError):
+                            pass
+                    pool.shutdown(wait=False, cancel_futures=True)
+                else:
+                    pool.shutdown(wait=True)
+        if self.draining:
+            # no retries or crash probes during a drain: anything
+            # unresolved keeps its journal `start` and replays on resume
+            return {}, {}
         return retry, suspects
 
     def _probe_suspects(self, suspects: dict, attempts: dict, retry: dict) -> None:
@@ -649,11 +887,14 @@ class SweepExecutor:
         complete normally and their results are kept.
         """
         for d, u in suspects.items():
+            if self.draining:
+                return  # keep journal starts; resume re-runs the suspects
             attempts[d] += 1
+            self._jstart(d, u, attempts[d])
             with tspans.span("pool.probe", "pool", label=u.label()):
                 try:
                     with concurrent.futures.ProcessPoolExecutor(
-                        1, initializer=faults_mod.mark_pool_worker
+                        1, initializer=_pool_worker_init
                     ) as pool:
                         out = pool.submit(
                             _worker_payload, u, attempts[d], self.faults,
@@ -669,6 +910,8 @@ class SweepExecutor:
                         error="worker process died without reporting a result",
                         tb="", attempts=attempts[d], injected=injected,
                     )
+                    # a probe pool died too: that's its own incident
+                    self._note_pool_incident(1, "crash probe pool died")
                     continue
                 self._absorb(d, u, out, attempts, retry)
 
@@ -691,6 +934,7 @@ class SweepExecutor:
             payload = out["ok"]
             metrics.histogram("exec.unit_sim_s").observe(payload["seconds"])
             self._store(d, payload, u.label())
+            self._jdone(d)
             self.stats.record(
                 u, d, payload["seconds"], payload["seconds"], "run"
             )

@@ -1,0 +1,297 @@
+"""The per-run sweep journal: a write-ahead log for crash-safe sweeps.
+
+A :class:`RunJournal` is an append-only JSONL file under the sweep
+workdir (``<cache>/journal/<run-id>.jsonl``) recording the lifecycle of
+every work unit the engine admits: ``start`` before execution, ``done``
+after the result is stored (the result itself is written atomically by
+:class:`~repro.exec.cache.ResultCache`), ``fail`` on terminal failure,
+plus run-level records (``run`` header, ``demote`` for degraded-mode
+transitions, a final ``state`` of ``complete`` / ``interrupted`` /
+``failed``).  Every append is flushed and fsynced, so the journal is
+the durable source of truth about what a killed process was doing.
+
+Replay (:func:`load` -> :class:`JournalReplay`) classifies every digest
+the journal mentions:
+
+* **completed** — a ``done`` record exists; the atomic cache entry for
+  the digest is trusted and the unit is *not* re-simulated on resume;
+* **failed** — terminally failed (its kind is preserved for reporting);
+* **in-flight** — ``start`` with no ``done``/``fail``: the process died
+  (or was interrupted) while the unit executed, so resume re-enqueues
+  it.
+
+A torn final line — the record being appended when the process died —
+is tolerated and ignored; everything before it is intact by the
+append-only discipline.
+"""
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Optional
+
+from ..telemetry import log, metrics
+from ..telemetry.metrics import FSYNC_BUCKETS_S
+
+__all__ = [
+    "RunJournal",
+    "JournalReplay",
+    "journal_dir",
+    "load",
+    "resolve",
+    "latest_resumable",
+    "JOURNAL_SCHEMA",
+]
+
+JOURNAL_SCHEMA = 1
+
+#: terminal run states a ``state`` record may carry
+RUN_STATES = ("complete", "interrupted", "failed")
+
+
+def journal_dir(cache_dir) -> Path:
+    """Where a sweep workdir keeps its run journals."""
+    return Path(cache_dir) / "journal"
+
+
+@dataclasses.dataclass
+class JournalReplay:
+    """What a journal says happened, classified for resume."""
+
+    run_id: str
+    path: Optional[Path]
+    #: final run state: one of RUN_STATES, or "running" when the journal
+    #: ends without a state record (the process was killed outright)
+    state: str = "running"
+    command: str = ""
+    #: digests with a ``done`` record (served results are durable)
+    completed: set = dataclasses.field(default_factory=set)
+    #: digest -> kind for terminally failed units
+    failed: dict = dataclasses.field(default_factory=dict)
+    #: digests with a ``start`` but neither ``done`` nor ``fail``
+    in_flight: set = dataclasses.field(default_factory=set)
+    #: digest -> label, for human-readable resume reporting
+    labels: dict = dataclasses.field(default_factory=dict)
+    #: run id this journal itself resumed from, when chained
+    resumed_from: Optional[str] = None
+    #: torn/unparseable lines skipped during replay
+    torn_lines: int = 0
+    demoted: bool = False
+
+    @property
+    def resumable(self) -> bool:
+        """True unless the run already completed cleanly."""
+        return self.state != "complete"
+
+    def summary(self) -> dict:
+        return {
+            "from": self.run_id,
+            "state": self.state,
+            "completed": len(self.completed),
+            "failed": len(self.failed),
+            "in_flight": len(self.in_flight),
+            "torn_lines": self.torn_lines,
+        }
+
+
+class RunJournal:
+    """Append-only, fsynced JSONL journal for one sweep run."""
+
+    def __init__(self, path, run_id: str, fsync: bool = True):
+        self.path = Path(path)
+        self.run_id = run_id
+        self.fsync = fsync
+        self._lock = threading.Lock()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._f = open(self.path, "a")
+        self.closed = False
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        root,
+        run_id: str,
+        command: str = "",
+        argv=None,
+        resumed_from: Optional[str] = None,
+        fsync: bool = True,
+    ) -> "RunJournal":
+        """Open a fresh journal under ``root`` and write its run header."""
+        j = cls(journal_dir(root) / f"{run_id}.jsonl", run_id, fsync=fsync)
+        j.append(
+            {
+                "t": "run",
+                "schema": JOURNAL_SCHEMA,
+                "run_id": run_id,
+                "command": command,
+                "argv": [str(a) for a in (argv or ())],
+                "resumed_from": resumed_from,
+                "pid": os.getpid(),
+                "unix": time.time(),
+            }
+        )
+        return j
+
+    # -- appending --------------------------------------------------------
+    def append(self, record: dict) -> None:
+        """Durably append one record (flush + fsync before returning)."""
+        if self.closed:
+            return
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        t0 = time.perf_counter()
+        with self._lock:
+            self._f.write(line + "\n")
+            self._f.flush()
+            if self.fsync:
+                try:
+                    os.fsync(self._f.fileno())
+                except OSError:
+                    pass
+        metrics.counter("journal.appends").inc()
+        metrics.histogram("journal.append_s", FSYNC_BUCKETS_S).observe(
+            time.perf_counter() - t0
+        )
+
+    def record_plan(self, units: int, todo: int) -> None:
+        self.append({"t": "plan", "units": units, "todo": todo})
+
+    def record_start(self, digest: str, label: str, attempt: int = 1) -> None:
+        self.append({"t": "start", "d": digest, "label": label, "attempt": attempt})
+
+    def record_done(self, digest: str, source: str = "run") -> None:
+        self.append({"t": "done", "d": digest, "source": source})
+
+    def record_fail(self, digest: str, kind: str, injected: bool = False) -> None:
+        self.append({"t": "fail", "d": digest, "kind": kind, "injected": injected})
+
+    def record_demote(self, incidents: int, reason: str) -> None:
+        self.append({"t": "demote", "incidents": incidents, "reason": reason})
+
+    def close(self, state: str = "complete") -> None:
+        """Write the terminal ``state`` record and close the file."""
+        if self.closed:
+            return
+        if state not in RUN_STATES:
+            raise ValueError(f"unknown run state {state!r}; one of {RUN_STATES}")
+        self.append({"t": "state", "state": state, "unix": time.time()})
+        with self._lock:
+            self.closed = True
+            self._f.close()
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not self.closed:
+            self.close(
+                "complete" if exc_type is None else "failed"
+            )
+
+
+# -- replay ---------------------------------------------------------------
+def load(path) -> JournalReplay:
+    """Replay one journal file into a :class:`JournalReplay`.
+
+    Unparseable lines (the torn tail of a killed writer) are skipped and
+    counted, never fatal.
+    """
+    path = Path(path)
+    rep = JournalReplay(run_id=path.stem, path=path)
+    started: set = set()
+    try:
+        raw = path.read_text()
+    except OSError as e:
+        raise FileNotFoundError(f"no journal at {path}: {e}") from e
+    for line in raw.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except ValueError:
+            rep.torn_lines += 1
+            continue
+        t = rec.get("t")
+        if t == "run":
+            rep.run_id = rec.get("run_id", rep.run_id)
+            rep.command = rec.get("command", "")
+            rep.resumed_from = rec.get("resumed_from")
+        elif t == "start":
+            started.add(rec["d"])
+            if rec.get("label"):
+                rep.labels[rec["d"]] = rec["label"]
+        elif t == "done":
+            rep.completed.add(rec["d"])
+            rep.failed.pop(rec["d"], None)
+        elif t == "fail":
+            rep.failed[rec["d"]] = rec.get("kind", "ERROR")
+        elif t == "demote":
+            rep.demoted = True
+        elif t == "state":
+            rep.state = rec.get("state", rep.state)
+    rep.in_flight = started - rep.completed - set(rep.failed)
+    return rep
+
+
+def resolve(root, run_id: str) -> Path:
+    """The journal path for ``run_id`` under a sweep workdir."""
+    return journal_dir(root) / f"{run_id}.jsonl"
+
+
+def latest_resumable(root) -> Optional[JournalReplay]:
+    """The most recent journal under ``root`` that did not complete.
+
+    This is the ``--resume auto`` path: pick the newest interrupted (or
+    killed-outright) run and carry on from its durable record.
+    """
+    d = journal_dir(root)
+    if not d.is_dir():
+        return None
+    candidates = sorted(
+        d.glob("*.jsonl"), key=lambda p: p.stat().st_mtime, reverse=True
+    )
+    for p in candidates:
+        try:
+            rep = load(p)
+        except (OSError, ValueError):
+            continue
+        if rep.resumable:
+            return rep
+    return None
+
+
+def open_resume(root, token: str) -> JournalReplay:
+    """Resolve a ``--resume`` token: a run id, or ``auto``/``latest``.
+
+    Raises ``SystemExit`` with a diagnostic when nothing resumable is
+    found — the CLIs surface this directly.
+    """
+    if token in ("auto", "latest"):
+        rep = latest_resumable(root)
+        if rep is None:
+            raise SystemExit(
+                f"--resume {token}: no resumable journal under {journal_dir(root)}"
+            )
+    else:
+        path = resolve(root, token)
+        if not path.exists():
+            raise SystemExit(f"--resume {token}: no journal at {path}")
+        rep = load(path)
+        if not rep.resumable:
+            log.warn(
+                "journal.resume",
+                f"run {token} completed cleanly; resuming serves it "
+                "entirely from cache",
+            )
+    log.info(
+        "journal.resume",
+        f"resuming {rep.run_id} ({rep.state}): "
+        f"{len(rep.completed)} completed, {len(rep.in_flight)} in flight, "
+        f"{len(rep.failed)} failed",
+    )
+    return rep

@@ -34,6 +34,7 @@ __all__ = [
     "WorkUnit",
     "UnitResult",
     "make_unit",
+    "unit_build",
     "unit_fingerprint",
     "unit_digest",
     "execute",
@@ -108,6 +109,23 @@ def _plain(v):
     return repr(v)
 
 
+def unit_build(unit: WorkUnit, spec: Optional[DeviceSpec] = None) -> tuple:
+    """Resolve the unit's build inputs exactly as a run would.
+
+    Returns ``(bench, dialect, params, opts, defines)`` — the single
+    resolution path shared by :func:`unit_fingerprint` (content
+    addressing) and the lifecycle ABT preflight guard (which compiles
+    the same kernels the host would), so the two can never drift.
+    """
+    spec = spec if spec is not None else unit.spec
+    bench = get_benchmark(unit.benchmark)
+    dialect = CUDA if unit.api == "cuda" else OPENCL
+    params = bench.sizes()[unit.size]
+    opts = bench.options_for(dialect, dict(unit.options))
+    defines = {"WARP_SIZE": spec.warp_width}
+    return bench, dialect, params, opts, defines
+
+
 def unit_fingerprint(
     unit: WorkUnit,
     spec: Optional[DeviceSpec] = None,
@@ -119,11 +137,7 @@ def unit_fingerprint(
     invalidation rules without editing global state.
     """
     spec = spec if spec is not None else unit.spec
-    bench = get_benchmark(unit.benchmark)
-    dialect = CUDA if unit.api == "cuda" else OPENCL
-    params = bench.sizes()[unit.size]
-    opts = bench.options_for(dialect, dict(unit.options))
-    defines = {"WARP_SIZE": spec.warp_width}
+    bench, dialect, params, opts, defines = unit_build(unit, spec)
     try:
         sources = [
             pretty.render(k, dialect)

@@ -21,10 +21,13 @@ sweep completes; an experiment whose units failed is reported and
 skipped instead of aborting the run.  The failure table goes to stderr
 and into ``--sweep-json``.
 
-Exits non-zero when any shape check valid at the requested size fails,
-or when any unit failure was *not* planted by the ``repro.faults``
+Exits: ``0`` clean, ``1`` when any shape check valid at the requested
+size fails or any unit failure was *not* planted by the ``repro.faults``
 chaos harness (injected failures are expected in chaos runs and do not
-fail the build).
+fail the build), and ``75`` (``EX_TEMPFAIL``) when the run was
+interrupted by SIGINT/SIGTERM: the engine drains instead of dying, the
+run journal records ``interrupted``, and rerunning with ``--resume``
+picks up exactly the unfinished units.
 """
 from __future__ import annotations
 
@@ -35,7 +38,8 @@ import time
 
 from .. import exec as rexec
 from .. import telemetry
-from ..errors import ReproError
+from ..errors import ReproError, SweepInterrupted
+from ..exec import lifecycle
 from ..telemetry import spans as tspans
 from . import EXPERIMENTS
 
@@ -90,20 +94,29 @@ def add_sweep_arguments(ap: argparse.ArgumentParser) -> None:
         "--sweep-json", default=None, metavar="FILE",
         help="write the sweep summary (per-unit timings, hit/miss) as JSON",
     )
+    lifecycle.add_lifecycle_arguments(ap)
     telemetry.add_telemetry_arguments(ap)
 
 
-def build_executor(args) -> rexec.SweepExecutor:
+def build_executor(args, journal=None, resumed=None) -> rexec.SweepExecutor:
     cache = None
     if not args.no_cache:
         cache = args.cache_dir or rexec.default_cache_dir()
-    return rexec.SweepExecutor(
+    ex = rexec.SweepExecutor(
         jobs=args.jobs,
         cache=cache,
         timeout=getattr(args, "timeout", None),
         retries=getattr(args, "retries", 2),
         progress=not getattr(args, "quiet", False),
+        journal=journal,
+        resumed=resumed,
+        preflight=not getattr(args, "no_preflight", False),
+        grace=getattr(args, "grace", 30.0),
     )
+    if resumed is not None and ex.cache is not None:
+        # the previous run died; sweep its orphaned tmp files
+        ex.cache.purge_tmp()
+    return ex
 
 
 def finish_sweep(args, executor: rexec.SweepExecutor) -> None:
@@ -159,13 +172,30 @@ def main(argv=None) -> int:
     failures = 0
     aborted_unexpected = 0
     tr = telemetry.start_run(args, "repro.experiments")
-    with rexec.use_executor(build_executor(args)) as ex, tspans.use_tracer(tr):
+    cache_dir = (
+        None if args.no_cache
+        else (args.cache_dir or rexec.default_cache_dir())
+    )
+    journal, replay = lifecycle.open_journal(
+        args, cache_dir, tr.trace_id, "repro.experiments", argv
+    )
+    ex = build_executor(args, journal=journal, resumed=replay)
+    with rexec.use_executor(ex), tspans.use_tracer(tr), \
+            lifecycle.GracefulShutdown(ex, grace=args.grace) as shutdown:
         ex.prewarm(collect_units(names, args.size))
         for name in names:
+            if ex.draining:
+                print(f"({name}: not started, draining)", file=sys.stderr)
+                continue
             t0 = time.time()
             try:
                 with tspans.span("experiment", "engine", experiment=name):
                     res = run_experiment(name, size=args.size)
+            except SweepInterrupted as e:
+                # drain began mid-experiment: its remaining cold units
+                # are left for --resume
+                print(f"({name}: interrupted: {e})", file=sys.stderr)
+                continue
             except ReproError as e:
                 # a work unit this experiment needs failed terminally;
                 # report and move on — one bad unit must not kill the run
@@ -184,10 +214,23 @@ def main(argv=None) -> int:
             failures += len(res.failed_checks())
         finish_sweep(args, ex)
         unexpected = len(ex.stats.unexpected_failures())
+    interrupted = shutdown.interrupted or ex.draining
+    state, code = lifecycle.run_outcome(
+        interrupted, failures + unexpected + aborted_unexpected
+    )
+    if journal is not None:
+        journal.close(state)
+    if interrupted:
+        tr.abandon("interrupted")
+        print(
+            f"run interrupted; resume with: --resume {tr.trace_id}",
+            file=sys.stderr,
+        )
     telemetry.finish_run(
-        args, tr, "repro.experiments", executor=ex,
-        cache_dir=None if args.no_cache
-        else (args.cache_dir or rexec.default_cache_dir()),
+        args, tr, "repro.experiments", executor=ex, cache_dir=cache_dir,
+        lifecycle=lifecycle.lifecycle_summary(
+            state, code, journal=journal, replay=replay, executor=ex
+        ),
     )
     if failures:
         print(f"{failures} shape check(s) did not hold", file=sys.stderr)
@@ -197,7 +240,7 @@ def main(argv=None) -> int:
             "failure(s)",
             file=sys.stderr,
         )
-    return 1 if (failures or unexpected or aborted_unexpected) else 0
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -30,6 +30,12 @@ Fault kinds:
     not fired at execution time: the engine asks :meth:`corrupts` after
     storing a result and truncates the cache entry — exercises the
     cache's quarantine-on-load path
+``interrupt``
+    deliver SIGINT to the sweep driver process (the pool parent when
+    firing inside a worker) on the first ``attempts`` attempts, then
+    carry on executing the unit — exercises the graceful-shutdown
+    drain, the ``interrupted`` journal state, and ``--resume`` replay,
+    deterministically, from CI
 
 Plans come from config or the ``REPRO_FAULTS`` environment variable
 (inherited by pool workers), in either JSON form::
@@ -46,6 +52,7 @@ import fnmatch
 import hashlib
 import json
 import os
+import signal
 import time
 from typing import Optional, Sequence
 
@@ -64,7 +71,7 @@ __all__ = [
     "in_pool_worker",
 ]
 
-KINDS = ("raise", "transient", "hang", "kill", "corrupt")
+KINDS = ("raise", "transient", "hang", "kill", "corrupt", "interrupt")
 
 #: set in each pool worker by the executor's initializer, so ``kill``
 #: faults only ever take down a disposable process
@@ -160,6 +167,16 @@ class FaultInjector:
                 e = WorkerCrash(f"injected worker kill for {label}")
                 e.injected = True
                 raise e
+            elif rule.kind == "interrupt":
+                if attempt <= rule.attempts:
+                    # signal the *driver*: workers ignore SIGINT so the
+                    # drain protocol (stop admission, bounded grace)
+                    # plays out exactly as a terminal Ctrl-C would
+                    target = os.getppid() if in_pool_worker() else os.getpid()
+                    try:
+                        os.kill(target, signal.SIGINT)
+                    except OSError:
+                        pass
 
     def _note(self, rule: FaultRule, label: str, attempt: int) -> None:
         """Record the firing on whatever telemetry is active here.
@@ -170,7 +187,7 @@ class FaultInjector:
         dies *after* exporting (and the planned-fault accounting in the
         engine covers the rest).
         """
-        if rule.kind == "transient" and attempt > rule.attempts:
+        if rule.kind in ("transient", "interrupt") and attempt > rule.attempts:
             return
         metrics.counter(f"faults.injected.{rule.kind}").inc()
         tspans.event(

@@ -11,7 +11,13 @@ from typing import Iterable, Optional, Sequence
 
 from .profile import LaunchProfile, aggregate
 
-__all__ = ["render_profile", "render_run", "render_sweep", "render_failures"]
+__all__ = [
+    "render_profile",
+    "render_run",
+    "render_sweep",
+    "render_failures",
+    "render_preflight",
+]
 
 #: Table-V class display order
 _CLASS_ORDER = [
@@ -168,8 +174,60 @@ def render_sweep(stats, title: str = "sweep") -> str:
             f"cache: {mem} memo hit(s), {stats.disk_hits} disk hit(s){q}, "
             f"{_fmt_s(stats.cache_serve_seconds)} sim time served from cache"
         )
+    resumed = getattr(stats, "resumed", None)
+    if resumed:
+        lines.append(
+            f"resume: continued run {resumed.get('from')} "
+            f"({resumed.get('completed', 0)} completed, "
+            f"{resumed.get('in_flight', 0)} in flight at interrupt); "
+            f"{getattr(stats, 'resumed_hits', 0)} unit(s) served from its "
+            "journaled results"
+        )
+    checked = getattr(stats, "preflight_checked", 0)
+    if checked:
+        lines.append(
+            f"preflight: {checked} cold unit(s) checked, "
+            f"{len(getattr(stats, 'preflight', ()))} predicted ABT"
+        )
+    demoted = getattr(stats, "demoted", None)
+    if demoted:
+        lines.append(
+            f"DEGRADED MODE: demoted to sequential after "
+            f"{demoted.get('incidents')} broken-pool incident(s) "
+            f"({demoted.get('reason')})"
+        )
+    pre = list(getattr(stats, "preflight", ()))
+    if pre:
+        lines += ["", render_preflight(pre)]
     if fails:
         lines += ["", render_failures(stats)]
+    return "\n".join(lines)
+
+
+def render_preflight(verdicts, title: str = "predicted ABT (preflight)") -> str:
+    """Units the preflight guard says will abort at enqueue.
+
+    These are Table VI "ABT" rows *predicted before any launch*: the
+    guard compiled the unit's kernels and applied the simulator's own
+    admission checks.  The units still execute (the verdict is
+    advisory), so the table is a forecast the run then confirms.
+    """
+    rows = [v if isinstance(v, dict) else v.as_dict() for v in verdicts]
+    if not rows:
+        return f"== {title}: none =="
+    width = max(24, max(len(r["label"]) for r in rows))
+    head = (
+        f"{'unit':<{width}} {'kernel':<18} {'code':<22} "
+        f"{'regs':>5} {'local':>8} {'wg':>5}"
+    )
+    lines = [f"== {title}: {len(rows)} ==", head, "-" * len(head)]
+    for r in rows:
+        lines.append(
+            f"{r['label']:<{width}} {str(r.get('kernel'))[:18]:<18} "
+            f"{str(r.get('code')):<22} {r.get('registers', 0):>5} "
+            f"{_fmt_bytes(r.get('shared_bytes', 0)):>8} "
+            f"{r.get('threads', 0):>5}"
+        )
     return "\n".join(lines)
 
 

@@ -119,12 +119,8 @@ class CudaContext:
 
     # -- compilation ---------------------------------------------------------
     def compile(self, kernel: KirKernel) -> CudaFunction:
-        # nvcc-style launch bounds: the per-thread budget also respects
-        # the register file at the kernel's intended block size
-        budget = min(
-            self.spec.max_regs_per_thread,
-            max(16, self.spec.regfile_per_cu // max(kernel.wg_hint, 32)),
-        )
+        # nvcc-style launch bounds (shared with the ABT preflight guard)
+        budget = self.spec.launch_reg_budget(kernel.wg_hint)
         t0 = time.perf_counter()
         ptx = compile_cuda(kernel, max_regs=budget)
         return CudaFunction(self, ptx, kernel, time.perf_counter() - t0)

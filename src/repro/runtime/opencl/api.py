@@ -252,10 +252,7 @@ class Program:
                     "CL_BUILD_PROGRAM_FAILURE",
                     f"kernel {k.name!r} is not OpenCL C",
                 )
-            budget = min(
-                device.spec.max_regs_per_thread,
-                max(16, device.spec.regfile_per_cu // max(k.wg_hint, 32)),
-            )
+            budget = device.spec.launch_reg_budget(k.wg_hint)
             ptx = compile_opencl(k, max_regs=budget)
             ptx.defines = dict(defines)
             built[k.name] = (ptx, k)

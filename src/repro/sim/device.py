@@ -24,7 +24,40 @@ from .memory import FlatMemory, OutOfDeviceMemory
 from .memsys import MemorySystem
 from .timing import KernelTiming, kernel_time
 
-__all__ = ["SimDevice", "LaunchResult", "LaunchFailure", "OutOfDeviceMemory"]
+__all__ = [
+    "SimDevice",
+    "LaunchResult",
+    "LaunchFailure",
+    "OutOfDeviceMemory",
+    "admission_error",
+]
+
+
+def admission_error(spec: DeviceSpec, resources, block: tuple) -> Optional[str]:
+    """The driver error code a launch would be rejected with, or None.
+
+    A pure function of (DeviceSpec, per-kernel resource usage, block
+    shape) — the complete admission control the simulator applies at
+    enqueue time.  These are the checks behind Table VI's "ABT" rows,
+    and because the sweep engine's preflight guard calls *this same
+    function* on the same compiled resources, a preflight verdict
+    agrees with the launch-time outcome by construction.
+    """
+    threads = block[0] * block[1] * block[2]
+    if threads > spec.max_threads_per_block:
+        return "CL_OUT_OF_RESOURCES"
+    if resources.shared_bytes > spec.max_shared_per_block:
+        return "CL_OUT_OF_RESOURCES"
+    if resources.registers > spec.max_regs_per_thread:
+        return "CL_OUT_OF_RESOURCES"
+    if resources.registers * threads > spec.regfile_per_cu:
+        return "CL_OUT_OF_RESOURCES"
+    if resources.uses_texture and not spec.supports_cuda():
+        return "CL_INVALID_KERNEL"
+    occ = occupancy(spec, threads, resources.registers, resources.shared_bytes)
+    if occ.blocks_per_cu == 0:
+        return "CL_OUT_OF_RESOURCES"
+    return None
 
 
 class LaunchFailure(ReproError):
@@ -94,24 +127,11 @@ class SimDevice:
 
         These are the checks behind Table VI's "ABT" rows: the Cell/BE's
         small register file and local store reject FFT/DXTC/RdxS/STNW at
-        enqueue time with ``CL_OUT_OF_RESOURCES``.
+        enqueue time with ``CL_OUT_OF_RESOURCES``.  Delegates to
+        :func:`admission_error`, which the sweep engine's preflight
+        guard shares.
         """
-        spec = self.spec
-        threads = block[0] * block[1] * block[2]
-        if threads > spec.max_threads_per_block:
-            return "CL_OUT_OF_RESOURCES"
-        if kernel.resources.shared_bytes > spec.max_shared_per_block:
-            return "CL_OUT_OF_RESOURCES"
-        if kernel.resources.registers > spec.max_regs_per_thread:
-            return "CL_OUT_OF_RESOURCES"
-        if kernel.resources.registers * threads > spec.regfile_per_cu:
-            return "CL_OUT_OF_RESOURCES"
-        if (
-            kernel.resources.uses_texture
-            and not self.spec.supports_cuda()
-        ):
-            return "CL_INVALID_KERNEL"
-        return None
+        return admission_error(self.spec, kernel.resources, block)
 
     # -- launch ------------------------------------------------------------
     def launch(
@@ -142,17 +162,13 @@ class SimDevice:
             else:
                 prepared[p.name] = np_dtype(p.dtype)(v)
 
+        # admission_error above already rejected occ.blocks_per_cu == 0
         occ = occupancy(
             self.spec,
             block[0] * block[1] * block[2],
             kernel.resources.registers,
             kernel.resources.shared_bytes,
         )
-        if occ.blocks_per_cu == 0:
-            raise LaunchFailure(
-                "CL_OUT_OF_RESOURCES",
-                f"kernel {kernel.name!r} does not fit on a compute unit",
-            )
 
         msnap = self.memsys.prof_snapshot()
         regions_before = dict(self.memsys.region_counts)

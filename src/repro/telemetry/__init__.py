@@ -26,6 +26,7 @@ from .cli import add_telemetry_arguments, finish_run, start_run
 from .export import chrome_trace, trace_events, write_trace
 from .manifest import RunManifest, default_manifest_path, git_sha
 from .metrics import (
+    FSYNC_BUCKETS_S,
     OVERHEAD_BUCKETS_S,
     TIME_BUCKETS_S,
     Counter,
@@ -73,6 +74,7 @@ __all__ = [
     "MetricsRegistry",
     "TIME_BUCKETS_S",
     "OVERHEAD_BUCKETS_S",
+    "FSYNC_BUCKETS_S",
     "registry",
     "use_registry",
     "counter",

@@ -76,6 +76,7 @@ def finish_run(
     command: str,
     executor=None,
     cache_dir: Optional[str] = None,
+    lifecycle: Optional[dict] = None,
 ):
     """Close the run span; emit trace + manifest as the flags ask.
 
@@ -99,7 +100,9 @@ def finish_run(
             return None
         path = default_manifest_path(cache_dir, tr.trace_id)
     sweep = executor.stats.summary() if executor is not None else {}
-    man = RunManifest.collect(command, run_id=tr.trace_id, sweep=sweep)
+    man = RunManifest.collect(
+        command, run_id=tr.trace_id, sweep=sweep, lifecycle=lifecycle
+    )
     out = man.write(path)
     log.debug("telemetry.manifest", f"run manifest written to {out}")
     return out

@@ -73,6 +73,9 @@ class RunManifest:
     metrics: dict
     #: SweepStats.summary() — per-unit serve records + failure report
     sweep: dict
+    #: crash-safety record: {"state", "exit_code", "journal", "resumed",
+    #: "interrupted", ...} from the lifecycle layer (None on old runs)
+    lifecycle: Optional[dict] = None
     schema: int = SCHEMA_VERSION
 
     # -- construction -----------------------------------------------------
@@ -85,6 +88,7 @@ class RunManifest:
         faults=None,
         metrics: Optional[dict] = None,
         sweep: Optional[dict] = None,
+        lifecycle: Optional[dict] = None,
     ) -> "RunManifest":
         """Snapshot the current process into a manifest."""
         from . import metrics as metrics_mod
@@ -122,6 +126,7 @@ class RunManifest:
             devices=_device_specs(),
             metrics=metrics if metrics is not None else metrics_mod.registry().snapshot(),
             sweep=sweep or {},
+            lifecycle=lifecycle,
         )
 
     # -- (de)serialization -------------------------------------------------
@@ -139,6 +144,11 @@ class RunManifest:
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         with open(tmp, "w") as f:
             json.dump(self.to_json(), f, indent=1, sort_keys=True)
+            f.flush()
+            try:
+                os.fsync(f.fileno())
+            except OSError:
+                pass
         os.replace(tmp, path)
         return path
 
@@ -155,7 +165,9 @@ class RunManifest:
         fields (run id, timestamps, argv) are excluded so an empty diff
         means "same code, same devices, same plan, same outcome".
         """
-        volatile = {"run_id", "created_unix", "argv", "metrics", "sweep"}
+        volatile = {
+            "run_id", "created_unix", "argv", "metrics", "sweep", "lifecycle",
+        }
         out = {}
         a, b = self.to_json(), other.to_json()
         for k in sorted(set(a) | set(b)):

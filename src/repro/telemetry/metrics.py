@@ -36,6 +36,7 @@ __all__ = [
     "MetricsRegistry",
     "TIME_BUCKETS_S",
     "OVERHEAD_BUCKETS_S",
+    "FSYNC_BUCKETS_S",
     "registry",
     "use_registry",
     "counter",
@@ -54,6 +55,13 @@ TIME_BUCKETS_S = (
 #: (Section V.D); a finer grid there keeps the distribution readable
 OVERHEAD_BUCKETS_S = (
     1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 1e-2,
+)
+
+#: journal fsync latencies: sub-ms on local disk, tens of ms on
+#: networked CI filesystems — the grid spans both so the WAL's real
+#: durability cost stays visible in the run manifest
+FSYNC_BUCKETS_S = (
+    1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0,
 )
 
 

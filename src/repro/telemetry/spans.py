@@ -238,6 +238,20 @@ class Tracer:
             count += 1
         return count
 
+    def abandon(self, reason: str = "interrupted") -> int:
+        """Mark every still-open span as aborted; returns how many.
+
+        Called by the graceful-shutdown path so a drained run's trace
+        distinguishes "this span ended" from "this span was cut off":
+        each open span gains ``aborted=True`` and the abandon reason,
+        then closes at the abandon time.  The tracer stays usable — the
+        end-of-run reporting spans still record normally.
+        """
+        open_spans = [s for s in self._tos() if s is not self.root]
+        for s in reversed(open_spans):
+            self.end_span(s, aborted=True, abort_reason=reason)
+        return len(open_spans)
+
     def finish(self) -> None:
         """Close the run-root span (and any spans left open) and the log."""
         for s in reversed(list(self._tos())):

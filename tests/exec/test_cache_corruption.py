@@ -109,3 +109,92 @@ class TestQuarantine:
         warm = rexec.SweepExecutor(cache=tmp_path).run_unit(UNIT)
         assert warm.cached
         assert canon(warm) == canon(refilled)
+
+
+class TestAtomicWrites:
+    """Satellite: cache writes are atomic (tmp + fsync + os.replace)."""
+
+    def test_put_leaves_no_tmp_behind(self, tmp_path):
+        digest, path = _populate(tmp_path)
+        leftovers = list(tmp_path.glob("[0-9a-f][0-9a-f]/*.tmp.*"))
+        assert leftovers == []
+
+    def test_put_cleans_tmp_on_write_failure(self, tmp_path, monkeypatch):
+        cache = rexec.ResultCache(tmp_path)
+        payload = rexec.result_to_json(rexec.execute(UNIT))
+        import os as _os
+
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(_os, "replace", boom)
+        with pytest.raises(OSError, match="disk full"):
+            cache.put("ab" * 32, payload)
+        monkeypatch.undo()
+        assert list(tmp_path.glob("[0-9a-f][0-9a-f]/*")) == []
+
+    def test_purge_tmp_sweeps_corpses_not_live_writers(self, tmp_path):
+        import os as _os
+
+        cache = rexec.ResultCache(tmp_path)
+        shard = tmp_path / "ab"
+        shard.mkdir()
+        corpse = shard / ("x" * 64 + ".tmp.99999999")  # a dead pid's tmp
+        corpse.write_text("{torn")
+        live = shard / ("y" * 64 + f".tmp.{_os.getpid()}")  # our own
+        live.write_text("{in progress")
+        assert cache.purge_tmp() == 1
+        assert not corpse.exists() and live.exists()
+        assert cache.purge_tmp() == 0  # idempotent
+
+    def test_purge_tmp_on_missing_root(self, tmp_path):
+        assert rexec.ResultCache(tmp_path / "never-created").purge_tmp() == 0
+
+    def test_purge_tmp_never_touches_entries(self, tmp_path):
+        digest, path = _populate(tmp_path)
+        cache = rexec.ResultCache(tmp_path)
+        cache.purge_tmp()
+        assert path.exists()
+        assert cache.get(digest) is not None
+
+
+class TestCanonicalResults:
+    """The deterministic results document the resume test compares."""
+
+    def test_canonical_payload_zeroes_only_wall_clocks(self):
+        payload = rexec.result_to_json(rexec.execute(UNIT))
+        out = rexec.canonical_payload(payload)
+        assert out["seconds"] == 0.0
+        assert out["profile"]["compile_s"] == 0.0
+        # nothing else changed, and the input was not mutated
+        redo = json.loads(json.dumps(payload))
+        redo["seconds"] = 0.0
+        redo["profile"]["compile_s"] = 0.0
+        assert out == redo
+        assert payload["seconds"] != 0.0 or payload is not out
+
+    def test_canonical_results_json_order_independent(self):
+        ex = rexec.SweepExecutor()
+        from repro.arch.specs import GTX280
+
+        units = [
+            rexec.make_unit("TranP", api, dev, "small")
+            for api in ("cuda", "opencl")
+            for dev in (GTX280, GTX480)
+        ]
+        results = [ex.run_unit(u) for u in units]
+        a = rexec.canonical_results_json(results)
+        b = rexec.canonical_results_json(list(reversed(results)))
+        assert a == b
+        doc = json.loads(a)
+        assert doc["schema"] == SCHEMA_VERSION
+        assert len(doc["results"]) == len(units)
+
+    def test_canonical_json_identical_across_independent_runs(self):
+        a = rexec.canonical_results_json(
+            [rexec.SweepExecutor().run_unit(UNIT)]
+        )
+        b = rexec.canonical_results_json(
+            [rexec.SweepExecutor().run_unit(UNIT)]
+        )
+        assert a == b

@@ -259,3 +259,47 @@ class TestFullChaosAcceptance:
         # every non-injected unit: byte-identical to the fault-free run
         for u in UNITS[2:]:
             assert canon(ex.run_unit(u), wall=False) == reference[u]
+
+
+class TestInterruptFault:
+    """Satellite: the `interrupt` chaos rule SIGINTs the sweep driver."""
+
+    def test_parses(self):
+        inj = faults.from_spec("seed=1;interrupt:Sobel/cuda*")
+        assert inj.rules[0].kind == "interrupt"
+
+    def test_fires_sigint_at_self_in_process(self, monkeypatch):
+        import os
+        import signal as _signal
+
+        sent = []
+        monkeypatch.setattr(
+            "repro.faults.injector.os.kill",
+            lambda pid, sig: sent.append((pid, sig)),
+        )
+        inj = faults.from_spec(f"interrupt:{LABELS[0]}")
+        inj.fire(LABELS[0], attempt=1)
+        assert sent == [(os.getpid(), _signal.SIGINT)]
+
+    def test_only_leading_attempts_fire(self, monkeypatch):
+        sent = []
+        monkeypatch.setattr(
+            "repro.faults.injector.os.kill",
+            lambda pid, sig: sent.append(sig),
+        )
+        inj = faults.from_spec(f"interrupt:{LABELS[0]}")
+        inj.fire(LABELS[0], attempt=2)  # the resumed run must not re-fire
+        assert sent == []
+
+    def test_targets_parent_from_pool_worker(self, monkeypatch):
+        import os
+
+        sent = []
+        monkeypatch.setattr(
+            "repro.faults.injector.os.kill",
+            lambda pid, sig: sent.append(pid),
+        )
+        monkeypatch.setattr("repro.faults.injector.in_pool_worker", lambda: True)
+        inj = faults.from_spec(f"interrupt:{LABELS[0]}")
+        inj.fire(LABELS[0], attempt=1)
+        assert sent == [os.getppid()]
