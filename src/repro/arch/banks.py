@@ -16,14 +16,11 @@ __all__ = ["bank_conflicts"]
 def _conflicts(addrs: np.ndarray, banks: int) -> int:
     if addrs.size == 0:
         return 0
-    words = addrs // 4
-    bank = words % banks
-    worst = 1
-    for b in np.unique(bank):
-        sel = words[bank == b]
-        distinct = np.unique(sel).size  # same word broadcasts
-        worst = max(worst, distinct)
-    return worst
+    # distinct words per bank (same word broadcasts): one unique pass
+    # plus a bincount instead of a Python loop over the banks
+    words = np.unique(addrs // 4)
+    counts = np.bincount((words % banks).astype(np.intp))
+    return max(1, int(counts.max()))
 
 
 def bank_conflicts(spec: DeviceSpec, addrs: np.ndarray) -> int:

@@ -60,13 +60,18 @@ class LRUCache:
         self.line = max(line_bytes, 1)
         self.ways = ways
         self.sets = max(1, capacity_bytes // (self.line * ways))
-        self._data: list[OrderedDict] = [OrderedDict() for _ in range(self.sets)]
+        # sets materialize on first touch: sweeps build thousands of
+        # cache banks and most sets of a short launch stay cold
+        self._data: dict[int, OrderedDict] = {}
         self.stats = CacheStats()
 
     def access(self, base: int) -> bool:
         """Touch one line; True on hit.  Misses fill the line."""
         line_id = base // self.line
-        s = self._data[line_id % self.sets]
+        si = line_id % self.sets
+        s = self._data.get(si)
+        if s is None:
+            s = self._data[si] = OrderedDict()
         if line_id in s:
             s.move_to_end(line_id)
             self.stats.hits += 1
@@ -82,8 +87,7 @@ class LRUCache:
         return sum(1 for b in bases.tolist() if self.access(b))
 
     def invalidate(self) -> None:
-        for s in self._data:
-            s.clear()
+        self._data.clear()
 
 
 class _NullCache:

@@ -61,42 +61,50 @@ def segments_gt200(
 
     Returns ``(segment_bases, segment_widths)``; each half-warp issues
     its own transactions even when they overlap another half-warp's.
+    Scalar Python on purpose: half-warps are at most 16 elements and
+    numpy per-call overhead dominates at that size.
     """
     bases: list[int] = []
     widths: list[int] = []
-    n = addrs.size
+    al = addrs.tolist()
+    sl = sizes.tolist()
+    n = len(al)
     for lo in range(0, n, 16):
-        a = addrs[lo : lo + 16]
-        s = sizes[lo : lo + 16]
-        if a.size == 0:
-            continue
-        ends = a + np.maximum(s, 1)
+        a = al[lo : lo + 16]
+        ends = [
+            x + (s if s > 1 else 1) for x, s in zip(a, sl[lo : lo + 16])
+        ]
         # an access that straddles a 128B boundary touches every segment
         # in its first..last range; clip it into per-segment pieces so
         # the trailing bytes are not dropped
-        seg_first = a // 128
-        seg_last = (ends - 1) // 128
-        touched = np.unique(np.concatenate([seg_first, seg_last]))
-        if int((seg_last - seg_first).max()) > 1:
-            # huge accesses (> 128B) span interior segments too
-            touched = np.unique(
-                np.concatenate(
-                    [
-                        np.arange(int(f), int(l) + 1)
-                        for f, l in zip(seg_first, seg_last)
-                    ]
-                )
-            )
-        for seg in touched:
-            base = int(seg) * 128
-            in_seg = (a < base + 128) & (ends > base)
-            first = max(int(a[in_seg].min()), base)
-            last = min(int(ends[in_seg].max()), base + 128)
+        touched: set = set()
+        for x, e in zip(a, ends):
+            f, l = x >> 7, (e - 1) >> 7
+            if l - f > 1:  # huge accesses (> 128B) span interior segments
+                touched.update(range(f, l + 1))
+            else:
+                touched.add(f)
+                touched.add(l)
+        for seg in sorted(touched):
+            base = seg << 7
+            top = base + 128
+            first = top
+            last = base
+            for x, e in zip(a, ends):
+                if x < top and e > base:
+                    if x < first:
+                        first = x
+                    if e > last:
+                        last = e
+            if first < base:
+                first = base
+            if last > top:
+                last = top
             width = 128
             start = base
             for smaller in (64, 32):
-                fit = _fits(first, last, smaller)
-                if fit is None:
+                fit = (first // smaller) * smaller
+                if last > fit + smaller:
                     break
                 width, start = smaller, fit
             bases.append(start)

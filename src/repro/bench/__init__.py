@@ -100,7 +100,8 @@ def run_bench(
         with tspans.span("bench.cold", "engine", units=len(units), jobs=jobs):
             t0 = time.perf_counter()
             ex = rexec.SweepExecutor(
-                jobs=jobs, cache=cache_dir, progress=progress
+                jobs=jobs, cache=cache_dir, progress=progress,
+                adaptive_jobs=True,
             )
             with rexec.use_executor(ex):
                 ex.prewarm(units)
@@ -108,7 +109,8 @@ def run_bench(
         with tspans.span("bench.warm", "engine", units=len(units)):
             t0 = time.perf_counter()
             ex2 = rexec.SweepExecutor(
-                jobs=jobs, cache=cache_dir, progress=progress
+                jobs=jobs, cache=cache_dir, progress=progress,
+                adaptive_jobs=True,
             )
             with rexec.use_executor(ex2):
                 ex2.prewarm(units)

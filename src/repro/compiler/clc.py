@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from ..kir.stmt import Kernel
 from ..ptx.module import PTXKernel
+from .ccache import cached_compile
 from .lower import lower_kernel
 from .passes.constfold import fold_constants
 from .passes.dce import eliminate_dead_code
@@ -41,6 +42,12 @@ def compile_opencl(
             f"kernel {kernel.name!r} is {kernel.dialect}-dialect; "
             "use compile_cuda (or force=True)"
         )
+    return cached_compile(
+        "opencl", kernel, max_regs, lambda: _compile(kernel, max_regs)
+    )
+
+
+def _compile(kernel: Kernel, max_regs: int) -> PTXKernel:
     log: list[str] = []
     k = fold_constants(kernel, prune_branches=False, algebraic=False)
     k, report = unroll_loops(k, auto_limit=0, honor_pragmas=True)

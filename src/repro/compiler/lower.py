@@ -87,6 +87,24 @@ def _mentions_var(key, name: str) -> bool:
     return False
 
 
+def _key_vars(key) -> frozenset:
+    """All variable names mentioned anywhere in an expression key.
+
+    One traversal instead of one :func:`_mentions_var` walk per
+    (key, name) query — the CSE memo caches this per key.
+    """
+    out: set = set()
+    stack = [key]
+    while stack:
+        k = stack.pop()
+        if isinstance(k, tuple):
+            if len(k) == 2 and k[0] == "var" and isinstance(k[1], str):
+                out.add(k[1])
+            else:
+                stack.extend(k)
+    return frozenset(out)
+
+
 def _assigned_names(body) -> set[str]:
     """Variable names mutated anywhere under ``body`` (incl. loop vars)."""
     from ..kir.visit import walk_stmts
@@ -122,6 +140,9 @@ class Lowerer:
         self.sreg_cache: dict[str, Reg] = {}
         self.param_cache: dict[str, Reg] = {}
         self.memo: dict = {}
+        #: key -> frozenset of mentioned variable names (pure function
+        #: of the key, so entries never go stale)
+        self._memo_kv: dict = {}
         self.cur_pred: Optional[tuple] = None
         self._labels = itertools.count()
         # shared-memory layout
@@ -187,12 +208,20 @@ class Lowerer:
 
     def _memo_put(self, e: Expr, reg: Reg) -> None:
         if self.style.cse and self.cur_pred is None and _is_pure(e):
-            self.memo[e.key()] = reg
+            key = e.key()
+            self.memo[key] = reg
+            self._kv(key)
+
+    def _kv(self, key) -> frozenset:
+        vs = self._memo_kv.get(key)
+        if vs is None:
+            vs = self._memo_kv[key] = _key_vars(key)
+        return vs
 
     def invalidate_var(self, name: str) -> None:
         if self.memo:
             self.memo = {
-                k: v for k, v in self.memo.items() if not _mentions_var(k, name)
+                k: v for k, v in self.memo.items() if name not in self._kv(k)
             }
 
     def _eval(self, e: Expr, into: Optional[Reg]) -> Union[Reg, Imm]:
@@ -401,6 +430,7 @@ class Lowerer:
             self.emit(Instr(Op.ADD, Scalar.U32, dst=addr, srcs=(t, base)))
         if memo_key is not None and self.cur_pred is None:
             self.memo[memo_key] = addr
+            self._kv(memo_key)
         return addr
 
     def _eval_load(self, e: Load, into: Optional[Reg]) -> Reg:
@@ -444,7 +474,7 @@ class Lowerer:
             self.memo = {
                 k: v
                 for k, v in self.memo.items()
-                if not any(_mentions_var(k, n) for n in names)
+                if not (self._kv(k) & names)
             }
 
     def lower_block(self, body) -> None:
@@ -462,7 +492,7 @@ class Lowerer:
         self.memo = {
             k: v
             for k, v in snapshot.items()
-            if not any(_mentions_var(k, n) for n in assigned)
+            if not (self._kv(k) & assigned)
         }
 
     def lower_stmt(self, s) -> None:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from ..kir.stmt import Kernel
 from ..ptx.module import PTXKernel
+from .ccache import cached_compile
 from .lower import lower_kernel
 from .passes.constfold import fold_constants
 from .passes.dce import eliminate_dead_code
@@ -35,6 +36,12 @@ def compile_cuda(
             f"kernel {kernel.name!r} is {kernel.dialect}-dialect; "
             "use compile_opencl (or force=True)"
         )
+    return cached_compile(
+        "cuda", kernel, max_regs, lambda: _compile(kernel, max_regs)
+    )
+
+
+def _compile(kernel: Kernel, max_regs: int) -> PTXKernel:
     log: list[str] = []
     k = fold_constants(kernel, prune_branches=True, algebraic=True)
     k, report = unroll_loops(

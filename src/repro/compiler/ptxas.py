@@ -75,30 +75,41 @@ def _live_ranges(kernel: PTXKernel, conservative_span: int) -> dict:
         if i.op is Op.BRA and labels.get(i.target, pc + 1) <= pc
     ]
 
-    carried_cache: dict = {}
+    # per-pc read/def index lists, gathered once (regs_read() allocates)
+    reads_at = [tuple(r.idx for r in i.regs_read()) for i in kernel.instrs]
+    def_at = [None if i.dst is None else i.dst.idx for i in kernel.instrs]
+    span_cache: dict = {}
 
-    def _is_carried(reg_idx: int, t: int, b: int) -> bool:
-        """Read in [t, b] before any (re)definition there?"""
-        key = (reg_idx, t, b)
-        hit = carried_cache.get(key)
+    def _carried_set(t: int, b: int) -> frozenset:
+        """Registers whose first event in [t, b] is a read (not a def).
+
+        One pass decides every register of the span at once; within an
+        instruction the definition counts before the reads, so a
+        self-redefinition (``r = f(r)``) is *not* loop-carried — the
+        same order the per-register scan used.
+        """
+        hit = span_cache.get((t, b))
         if hit is not None:
             return hit
-        out = False
+        decided: set = set()
+        carried: set = set()
         for pc in range(t, b + 1):
-            i = kernel.instrs[pc]
-            if i.dst is not None and i.dst.idx == reg_idx:
-                out = False
-                break
-            if any(r.idx == reg_idx for r in i.regs_read()):
-                out = True
-                break
-        carried_cache[key] = out
+            d = def_at[pc]
+            if d is not None and d not in decided:
+                decided.add(d)
+            for ridx in reads_at[pc]:
+                if ridx not in decided:
+                    decided.add(ridx)
+                    carried.add(ridx)
+        out = frozenset(carried)
+        span_cache[(t, b)] = out
         return out
 
     changed = True
     while changed:
         changed = False
         for t, b in back_edges:
+            carried = _carried_set(t, b)
             for lr in ranges.values():
                 if not (lr.start <= b and lr.end >= t):
                     continue  # does not intersect the loop span
@@ -106,7 +117,7 @@ def _live_ranges(kernel: PTXKernel, conservative_span: int) -> dict:
                 # read in the body before any redefinition there, or
                 # live-through (defined before, used after)
                 live_through = lr.start < t and lr.end > b
-                if not (live_through or _is_carried(lr.reg.idx, t, b)):
+                if not (live_through or lr.reg.idx in carried):
                     continue
                 ns, ne = min(lr.start, t), max(lr.end, b)
                 if (ns, ne) != (lr.start, lr.end):

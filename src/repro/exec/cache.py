@@ -42,9 +42,11 @@ __all__ = [
     "SCHEMA_VERSION",
 ]
 
-#: bump whenever the payload layout changes; mismatched entries are
-#: quarantined rather than misinterpreted
-SCHEMA_VERSION = 2
+#: bump whenever the payload layout OR the numeric semantics producing
+#: it change; mismatched entries are quarantined rather than
+#: misinterpreted (v3: operand-width shift masking + unclamped SFU
+#: specials changed simulated results)
+SCHEMA_VERSION = 3
 
 _REQUIRED_KEYS = frozenset({"schema", "unit", "bench", "profile", "seconds"})
 _UNIT_KEYS = frozenset({"benchmark", "api", "device", "size", "options"})

@@ -53,6 +53,7 @@ from __future__ import annotations
 import concurrent.futures
 import contextlib
 import dataclasses
+import os
 import signal
 import threading
 import time
@@ -346,8 +347,13 @@ class SweepExecutor:
         preflight: bool = True,
         grace: float = 30.0,
         demote_after: int = 3,
+        adaptive_jobs: bool = False,
     ) -> None:
         self.jobs = max(1, int(jobs))
+        #: clamp pool fan-out to the machine's core count; workers past
+        #: it add fork/pickle/scheduling overhead with zero throughput
+        #: (opt-in: fault-injection callers want real workers regardless)
+        self.adaptive_jobs = bool(adaptive_jobs)
         if cache is not None and not isinstance(cache, ResultCache):
             cache = ResultCache(cache)
         self.cache: Optional[ResultCache] = cache
@@ -629,6 +635,11 @@ class SweepExecutor:
         remaining units always complete.
         """
         jobs = self.jobs if jobs is None else max(1, int(jobs))
+        if self.adaptive_jobs and jobs > 1:
+            hw = os.cpu_count() or 1
+            if jobs > hw:
+                metrics.gauge("exec.pool.jobs_clamped").set(jobs - hw)
+                jobs = hw
         units = list(units)
         todo: dict = {}
         seen: set = set()

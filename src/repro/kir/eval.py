@@ -25,7 +25,23 @@ __all__ = ["eval_kernel"]
 _MAXLOOP = 10_000_000
 
 
+_INT_WRAP = {
+    Scalar.U32: (32, False),
+    Scalar.S32: (32, True),
+    Scalar.U64: (64, False),
+    Scalar.S64: (64, True),
+}
+
+
 def _to(v, t: Scalar):
+    # Python-int intermediates (shifts, div) can exceed the target
+    # width; wrap to two's complement like the device ALU does.
+    w = _INT_WRAP.get(t)
+    if w is not None and isinstance(v, int):
+        bits, signed = w
+        v &= (1 << bits) - 1
+        if signed and v >> (bits - 1):
+            v -= 1 << bits
     return np_dtype(t)(v)
 
 
@@ -67,9 +83,11 @@ def _eval(e: Expr, env: dict, bufs: Mapping[str, np.ndarray]):
             if op == "xor":
                 return _to(int(a) ^ int(b), e.dtype)
             if op == "shl":
-                return _to(int(a) << (int(b) & 31), e.dtype)
+                m = 63 if e.dtype in (Scalar.S64, Scalar.U64) else 31
+                return _to(int(a) << (int(b) & m), e.dtype)
             if op == "shr":
-                return _to(int(a) >> (int(b) & 31), e.dtype)
+                m = 63 if e.dtype in (Scalar.S64, Scalar.U64) else 31
+                return _to(int(a) >> (int(b) & m), e.dtype)
             if op == "lt":
                 return bool(a < b)
             if op == "le":
@@ -98,17 +116,27 @@ def _eval(e: Expr, env: dict, bufs: Mapping[str, np.ndarray]):
             if op == "abs":
                 return _to(abs(a), e.dtype)
             if op == "sqrt":
-                return _to(math.sqrt(max(a, 0.0)), e.dtype)
+                # sqrt(negative) is NaN, matching the simulator's SFU
+                return _to(
+                    math.sqrt(a) if a >= 0 else float("nan"), e.dtype
+                )
             if op == "rsqrt":
-                return _to(1.0 / math.sqrt(a) if a > 0 else np.inf, e.dtype)
+                if a > 0:
+                    return _to(1.0 / math.sqrt(a), e.dtype)
+                return _to(np.inf if a == 0 else float("nan"), e.dtype)
             if op == "sin":
                 return _to(math.sin(a), e.dtype)
             if op == "cos":
                 return _to(math.cos(a), e.dtype)
             if op == "exp":
-                return _to(math.exp(min(a, 80.0)), e.dtype)
+                try:
+                    return _to(math.exp(a), e.dtype)
+                except OverflowError:
+                    return _to(np.inf, e.dtype)
             if op == "log":
-                return _to(math.log(a) if a > 0 else -np.inf, e.dtype)
+                if a > 0:
+                    return _to(math.log(a), e.dtype)
+                return _to(-np.inf if a == 0 else float("nan"), e.dtype)
             if op == "floor":
                 return _to(math.floor(a), e.dtype)
             if op == "f2i":

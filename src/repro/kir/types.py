@@ -53,23 +53,32 @@ _SIZE = {
 _INT = {Scalar.U32, Scalar.S32, Scalar.U64, Scalar.S64}
 _FLOAT = {Scalar.F32, Scalar.F64}
 
+# Enum hashing goes through a Python-level __hash__, and the interpreter
+# resolves dtypes millions of times per sweep — pin the lookups onto the
+# members themselves so the hot accessors are a plain attribute read.
+for _m in Scalar:
+    _m._np = _NP[_m]
+    _m._size = _SIZE[_m]
+    _m._is_int = _m in _INT
+    _m._is_float = _m in _FLOAT
+
 
 def np_dtype(t: Scalar) -> type:
     """The numpy dtype used to carry lane values of scalar type ``t``."""
-    return _NP[t]
+    return t._np
 
 
 def sizeof(t: Scalar) -> int:
     """Size in bytes of one element of ``t`` in device memory."""
-    return _SIZE[t]
+    return t._size
 
 
 def is_integer(t: Scalar) -> bool:
-    return t in _INT
+    return t._is_int
 
 
 def is_float(t: Scalar) -> bool:
-    return t in _FLOAT
+    return t._is_float
 
 
 class AddrSpace(enum.Enum):

@@ -1,4 +1,11 @@
-"""Tree walkers shared by validation, compilers and pretty-printing."""
+"""Tree walkers shared by validation, compilers and pretty-printing.
+
+The expression node classes are final frozen dataclasses, so the
+walkers dispatch on exact type (``type(e) is BinOp``) instead of
+``isinstance`` chains, and :func:`walk_exprs` runs on an explicit stack
+rather than nested generators — these run millions of times per sweep
+and the frame overhead dominated compile time.
+"""
 from __future__ import annotations
 
 from typing import Callable, Iterable, Iterator
@@ -9,53 +16,67 @@ from .stmt import Assign, Barrier, For, If, Let, Stmt, Store, While
 __all__ = ["walk_exprs", "walk_stmts", "any_expr", "sub_exprs", "map_expr"]
 
 
-def sub_exprs(e: Expr) -> Iterator[Expr]:
+def sub_exprs(e: Expr) -> tuple:
     """Direct children of an expression node."""
-    if isinstance(e, BinOp):
-        yield e.a
-        yield e.b
-    elif isinstance(e, UnOp):
-        yield e.a
-    elif isinstance(e, Select):
-        yield e.pred
-        yield e.a
-        yield e.b
-    elif isinstance(e, Load):
-        yield e.index
+    t = type(e)
+    if t is BinOp:
+        return (e.a, e.b)
+    if t is UnOp:
+        return (e.a,)
+    if t is Select:
+        return (e.pred, e.a, e.b)
+    if t is Load:
+        return (e.index,)
+    return ()
 
 
 def walk_exprs(e: Expr) -> Iterator[Expr]:
     """Pre-order walk of an expression tree (including ``e`` itself)."""
-    yield e
-    for c in sub_exprs(e):
-        yield from walk_exprs(c)
+    stack = [e]
+    pop = stack.pop
+    push = stack.append
+    while stack:
+        n = pop()
+        yield n
+        t = type(n)
+        if t is BinOp:
+            push(n.b)
+            push(n.a)
+        elif t is UnOp:
+            push(n.a)
+        elif t is Select:
+            push(n.b)
+            push(n.a)
+            push(n.pred)
+        elif t is Load:
+            push(n.index)
 
 
-def stmt_exprs(s: Stmt) -> Iterator[Expr]:
+def stmt_exprs(s: Stmt) -> tuple:
     """Top-level expressions appearing directly in a statement."""
-    if isinstance(s, Let) or isinstance(s, Assign):
-        yield s.value
-    elif isinstance(s, Store):
-        yield s.index
-        yield s.value
-    elif isinstance(s, If):
-        yield s.cond
-    elif isinstance(s, For):
-        yield s.start
-        yield s.stop
-        yield s.step
-    elif isinstance(s, While):
-        yield s.cond
+    t = type(s)
+    if t is Let or t is Assign:
+        return (s.value,)
+    if t is Store:
+        return (s.index, s.value)
+    if t is If:
+        return (s.cond,)
+    if t is For:
+        return (s.start, s.stop, s.step)
+    if t is While:
+        return (s.cond,)
+    return ()
 
 
 def walk_stmts(body: Iterable[Stmt]) -> Iterator[Stmt]:
     """Pre-order walk of a statement tree."""
     for s in body:
         yield s
-        if isinstance(s, If):
+        t = type(s)
+        if t is If:
             yield from walk_stmts(s.then)
             yield from walk_stmts(s.orelse)
-        elif isinstance(s, (For, While)):
+        elif t is For or t is While:
             yield from walk_stmts(s.body)
 
 
@@ -73,16 +94,30 @@ def map_expr(e: Expr, fn: Callable[[Expr], Expr]) -> Expr:
     """Rebuild ``e`` bottom-up, applying ``fn`` to every node.
 
     ``fn`` receives a node whose children have already been rewritten and
-    returns its replacement (possibly the same node).
+    returns its replacement (possibly the same node).  Untouched subtrees
+    are shared, not copied — expression nodes are immutable, and skipping
+    the rebuild avoids re-running dataclass validation on every node.
     """
-    if isinstance(e, BinOp):
-        e2: Expr = BinOp(e.op, map_expr(e.a, fn), map_expr(e.b, fn))
-    elif isinstance(e, UnOp):
-        e2 = UnOp(e.op, map_expr(e.a, fn))
-    elif isinstance(e, Select):
-        e2 = Select(map_expr(e.pred, fn), map_expr(e.a, fn), map_expr(e.b, fn))
-    elif isinstance(e, Load):
-        e2 = Load(e.buf, map_expr(e.index, fn), e.via_texture)
+    t = type(e)
+    if t is BinOp:
+        a = map_expr(e.a, fn)
+        b = map_expr(e.b, fn)
+        e2: Expr = e if (a is e.a and b is e.b) else BinOp(e.op, a, b)
+    elif t is UnOp:
+        a = map_expr(e.a, fn)
+        e2 = e if a is e.a else UnOp(e.op, a)
+    elif t is Select:
+        p = map_expr(e.pred, fn)
+        a = map_expr(e.a, fn)
+        b = map_expr(e.b, fn)
+        e2 = (
+            e
+            if (p is e.pred and a is e.a and b is e.b)
+            else Select(p, a, b)
+        )
+    elif t is Load:
+        idx = map_expr(e.index, fn)
+        e2 = e if idx is e.index else Load(e.buf, idx, e.via_texture)
     else:
         e2 = e
     return fn(e2)

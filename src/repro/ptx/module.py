@@ -2,6 +2,8 @@
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import pickle
 from typing import Iterable, Optional
 
 from ..kir.stmt import Kernel as KirKernel
@@ -75,6 +77,32 @@ class PTXKernel:
 
     def pointer_params(self) -> list[PTXParam]:
         return [p for p in self.params if p.is_pointer]
+
+    def content_digest(self) -> str:
+        """Stable digest of the executable content, memoized on self.
+
+        Covers everything that affects what a launch computes (code,
+        params, resources, shared decls, dialect) and nothing that does
+        not (producer, defines, diagnostics).  The compile cache copies
+        the memoized value onto clones, so sweeps pay one digest per
+        unique compile; the launch memo keys on it.
+        """
+        d = self.__dict__.get("_content_digest")
+        if d is None:
+            blob = pickle.dumps(
+                (
+                    self.name,
+                    self.params,
+                    self.instrs,
+                    self.resources,
+                    sorted(self.shared_decls.items()),
+                    self.dialect,
+                ),
+                protocol=4,
+            )
+            d = hashlib.blake2b(blob, digest_size=16).hexdigest()
+            self.__dict__["_content_digest"] = d
+        return d
 
 
 @dataclasses.dataclass

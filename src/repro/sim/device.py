@@ -20,6 +20,7 @@ from ..prof.profile import LaunchProfile, build_launch_profile
 from ..ptx.module import PTXKernel
 from ..telemetry import metrics
 from .interp import LaunchStats, run_grid
+from .memo import LaunchMemo, cache_signature, memo_enabled
 from .memory import FlatMemory, OutOfDeviceMemory
 from .memsys import MemorySystem
 from .timing import KernelTiming, kernel_time
@@ -92,13 +93,18 @@ def _norm_dim(d) -> tuple:
 
 
 class SimDevice:
-    def __init__(self, spec: DeviceSpec):
+    def __init__(self, spec: DeviceSpec, memoize: bool | None = None):
         self.spec = spec
         self.mem = FlatMemory(spec.mem_capacity_mb * (1 << 20))
         self.memsys = MemorySystem(spec)
         self.launch_log: list = []
         #: one LaunchProfile per launch, in launch order
         self.profiles: list[LaunchProfile] = []
+        #: in-run launch memo table (None when disabled); guarded replay
+        #: of repeated identical launches — see :mod:`repro.sim.memo`
+        if memoize is None:
+            memoize = memo_enabled()
+        self.memo: LaunchMemo | None = LaunchMemo() if memoize else None
 
     # -- memory -----------------------------------------------------------
     def alloc(self, nbytes: int) -> int:
@@ -172,9 +178,32 @@ class SimDevice:
 
         msnap = self.memsys.prof_snapshot()
         regions_before = dict(self.memsys.region_counts)
-        stats = run_grid(
-            kernel, self.spec, self.memsys, self.mem, prepared, grid, block
-        )
+        memo = self.memo
+        entry = mkey = None
+        if memo is not None:
+            mkey = memo.key(kernel, prepared, grid, block)
+            entry = memo.lookup(mkey, self.mem, self.memsys)
+        if entry is not None:
+            stats = memo.replay(entry, self.mem, self.memsys)
+        elif memo is not None and memo.can_record(mkey):
+            pre_caches = cache_signature(self.memsys)
+            pre_counters = memo.pre_counters(self.mem, self.memsys)
+            pre_banks = memo.pre_banks(self.memsys)
+            self.mem.begin_trace()
+            self.memsys.begin_dram_log()
+            stats = run_grid(
+                kernel, self.spec, self.memsys, self.mem, prepared, grid, block
+            )
+            trace = self.mem.end_trace()
+            trace["dram_log"] = self.memsys.end_dram_log()
+            memo.record(
+                mkey, self.mem, self.memsys, trace, pre_caches,
+                pre_counters, pre_banks, regions_before, stats,
+            )
+        else:
+            stats = run_grid(
+                kernel, self.spec, self.memsys, self.mem, prepared, grid, block
+            )
         mem_delta = self.memsys.prof_since(msnap)
         dram = mem_delta["dram_bytes"]
         t = self.spec.timing

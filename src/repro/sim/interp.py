@@ -1,17 +1,38 @@
 """SIMT functional interpreter over the virtual ISA.
 
-Execution model: one *block-wide* masked vector per thread block.  The
-reconvergence-stack mechanism is width-agnostic, so running all warps of
-a block in lockstep produces bit-identical functional results while
-letting every ALU instruction be a single numpy op over the whole block
-(the vectorize-don't-loop idiom of the HPC guides).
+Execution model: one *batch-wide* masked vector per group of thread
+blocks.  The reconvergence-stack mechanism is width-agnostic, so running
+all warps of B homogeneous blocks in lockstep produces bit-identical
+functional results while letting every ALU instruction be a single
+numpy op over the whole batch (the vectorize-don't-loop idiom of the
+HPC guides).  Geometry vectors gain a per-block ``ctaid`` lane, and the
+Python dispatch loop is amortized over B blocks per interpreter pass.
 
 Per-warp costs are recovered exactly: an instruction executed under mask
 ``m`` is *issued* by every 32-lane group with an active lane, so its
-issue cost is ``cost * active_groups(m)`` — identical to executing warps
-one at a time.  Memory instructions are costed per hardware warp group
-(coalescing is a per-warp phenomenon) through
+issue cost is ``cost * active_groups(m)`` per block — identical to
+executing blocks one at a time.  Memory instructions are costed per
+hardware warp group (coalescing is a per-warp phenomenon) through
 :class:`~repro.sim.memsys.MemorySystem`.
+
+Batching invariants (the bit-identity contract, see DESIGN.md):
+
+* **Deferred memory-system replay** — cache state (per-CU L1/tex/const
+  banks, the shared L2) is order-sensitive, so the batched pass only
+  *records* every memory access; at batch end the accesses replay per
+  block in linear block order, reproducing the exact sequential cache
+  evolution and DRAM-byte accumulation of per-block execution.
+* **Per-block cost folds** — ``comp``/``memc`` accumulate per block in
+  that block's own visit order, so the float summation order (and hence
+  every last ulp of the timing model) matches per-block execution.
+* **Per-block divergence bookkeeping** — EXIT kills only the blocks
+  with lanes in the exiting frame; barriers check convergence per
+  participating block; dual-issue pairing state is tracked per block.
+
+The one assumption batching adds is that blocks of a launch do not
+communicate through global memory mid-kernel (CUDA/OpenCL make no
+inter-block ordering guarantee, so such kernels are racy anyway); the
+property suite cross-checks batched against per-block execution.
 
 Barriers become no-ops under block-lockstep (the interpreter checks the
 mask is converged, which the KIR validator already guarantees), and
@@ -20,6 +41,7 @@ strictly stronger than warp-lockstep.
 """
 from __future__ import annotations
 
+import os
 from collections import Counter
 
 import numpy as np
@@ -45,6 +67,21 @@ _CMP = {
     "ne": np.not_equal,
 }
 
+#: lockstep vector width target: blocks are batched until their combined
+#: lane count reaches this, amortizing the per-instruction Python cost
+_BATCH_LANES = 32768
+_BATCH_CAP = 64
+
+
+def _batch_size(width: int, blocks: int) -> int:
+    env = os.environ.get("REPRO_SIM_BATCH")
+    if env:
+        try:
+            return max(1, min(int(env), blocks))
+        except ValueError:
+            pass
+    return max(1, min(_BATCH_CAP, _BATCH_LANES // max(width, 1), blocks))
+
 
 class SimulationError(RuntimeError):
     pass
@@ -68,6 +105,48 @@ class LaunchStats:
         self.ilp_factor = 1.0
 
 
+class _SharedBatch:
+    """Shared memory for a batch of blocks, one segment per block.
+
+    Reproduces :class:`~repro.sim.memory.FlatMemory` semantics exactly
+    per block — including the modulo wrap of out-of-range addresses
+    into the block's own segment — by giving every block a stride-
+    aligned slice of one flat byte buffer.
+    """
+
+    def __init__(self, nbytes: int, batch: int):
+        # FlatMemory pads its buffer by 8 bytes; the per-block view size
+        # (and therefore the wrap modulus) must match it bit-for-bit
+        self.nb = int(nbytes) + 8
+        self.stride = -(-self.nb // 8) * 8
+        self.buf = np.zeros(batch * self.stride, dtype=np.uint8)
+        self._views: dict = {}
+
+    def _view(self, scalar: Scalar) -> np.ndarray:
+        v = self._views.get(scalar)
+        if v is None:
+            size = sizeof(scalar)
+            usable = (self.buf.size // size) * size
+            v = self.buf[:usable].view(np_dtype(scalar))
+            self._views[scalar] = v
+        return v
+
+    def _index(self, addrs: np.ndarray, blk: np.ndarray, size: int) -> np.ndarray:
+        idx = (addrs // size) % (self.nb // size)  # per-block wrap
+        return blk * (self.stride // size) + idx
+
+    def load(self, addrs: np.ndarray, blk: np.ndarray, scalar: Scalar) -> np.ndarray:
+        size = sizeof(scalar)
+        return self._view(scalar)[self._index(addrs, blk, size)]
+
+    def store(
+        self, addrs: np.ndarray, blk: np.ndarray, values: np.ndarray, scalar: Scalar
+    ) -> None:
+        size = sizeof(scalar)
+        # same-address conflicts resolve to the last lane, like FlatMemory
+        self._view(scalar)[self._index(addrs, blk, size)] = values
+
+
 class GridRunner:
     def __init__(
         self,
@@ -78,6 +157,7 @@ class GridRunner:
         args: dict,
         grid: tuple,
         block: tuple,
+        batch_blocks: int | None = None,
     ):
         self.k = kernel
         self.spec = spec
@@ -87,10 +167,56 @@ class GridRunner:
         self.grid = grid
         self.block = block
         self.WW = spec.warp_width
+        self.batch_blocks = batch_blocks
         self.stats = LaunchStats(spec.compute_units)
-        self._prepare_geometry()
-        self._prepare_code()
-        self.stats.ilp_factor = self._static_ilp()
+        # launch preparation is a pure function of (kernel, device,
+        # block shape); benchmarks relaunch the same compiled kernel
+        # many times, so the products are memoized on the kernel object
+        # (read-only at run time, hence safe to share between runners)
+        cache = kernel.__dict__.setdefault("_interp_prep", {})
+        ck = (spec.name, block)
+        prep = cache.get(ck)
+        if prep is None:
+            self._prepare_geometry()
+            self._prepare_code()
+            ilp = self._static_ilp()
+            cache[ck] = (
+                self.width,
+                self.ngroups_full,
+                self.tid,
+                self.mask0,
+                self.instrs,
+                self.n_instr,
+                self.target_pc,
+                self.reconv_pc,
+                self.cost,
+                self.hkey,
+                self.imm_cache,
+                self.fp_guard,
+                self._fp_err,
+                ilp,
+            )
+        else:
+            (
+                self.width,
+                self.ngroups_full,
+                self.tid,
+                self.mask0,
+                self.instrs,
+                self.n_instr,
+                self.target_pc,
+                self.reconv_pc,
+                self.cost,
+                self.hkey,
+                self.imm_cache,
+                self.fp_guard,
+                self._fp_err,
+                ilp,
+            ) = prep
+        self.stats.ilp_factor = ilp
+        # ``is_full`` frames only imply an all-true mask when the block
+        # size is a whole number of warps (no padding lanes)
+        self._m0full = bool(self.mask0.all())
 
     # -- preparation -----------------------------------------------------
     def _prepare_geometry(self) -> None:
@@ -102,9 +228,6 @@ class GridRunner:
         lin = np.arange(self.width, dtype=np.uint32)
         self.tid = (lin % bx, (lin // bx) % by, lin // (bx * by))
         self.mask0 = lin < tpb
-        self.groups_full = int(
-            self.mask0.reshape(-1, self.WW).any(axis=1).sum()
-        )
 
     def _prepare_code(self) -> None:
         """Pre-resolve labels, costs, and histogram keys per instruction."""
@@ -118,6 +241,12 @@ class GridRunner:
         self.cost = [0.0] * self.n_instr
         self.hkey = [""] * self.n_instr
         self.imm_cache: list = [None] * self.n_instr
+        # ops that legitimately produce inf/NaN run under a scoped
+        # errstate; integer ops do not, so genuine overflow bugs warn
+        self.fp_guard = [False] * self.n_instr
+        self._fp_err = dict(
+            divide="ignore", invalid="ignore", over="ignore", under="ignore"
+        )
         for pc, i in enumerate(instrs):
             if i.op is Op.BRA:
                 self.target_pc[pc] = labels[i.target]
@@ -137,6 +266,17 @@ class GridRunner:
                 c *= t.reg_mov_factor
             self.cost[pc] = c
             self.hkey[pc] = stats_key(i.op, i.space)
+            self.fp_guard[pc] = (
+                i.dtype in (Scalar.F32, Scalar.F64)
+                or i.op in _SFU_OPS
+                or (
+                    i.op is Op.CVT
+                    and any(
+                        getattr(s, "dtype", None) in (Scalar.F32, Scalar.F64)
+                        for s in i.srcs
+                    )
+                )
+            )
             self.imm_cache[pc] = tuple(
                 np_dtype(s.dtype)(s.value) if isinstance(s, Imm) else None
                 for s in i.srcs
@@ -168,7 +308,7 @@ class GridRunner:
             return imm
         arr = regs.get(operand.idx)
         if arr is None:
-            arr = np.zeros(self.width, dtype=np_dtype(operand.dtype))
+            arr = np.zeros(self._lanes, dtype=np_dtype(operand.dtype))
             regs[operand.idx] = arr
         return arr
 
@@ -176,7 +316,7 @@ class GridRunner:
         dt = np_dtype(dst.dtype)
         arr = regs.get(dst.idx)
         if arr is None:
-            arr = np.zeros(self.width, dtype=dt)
+            arr = np.zeros(self._lanes, dtype=dt)
             regs[dst.idx] = arr
         if np.ndim(val) == 0:
             if full:
@@ -191,9 +331,21 @@ class GridRunner:
             else:
                 arr[mask] = val[mask]
 
-    @staticmethod
-    def _ngroups(mask: np.ndarray, ww: int) -> int:
-        return int(mask.reshape(-1, ww).any(axis=1).sum())
+    def _ngr_b(self, mask: np.ndarray, nb: int) -> np.ndarray:
+        """Active 32-lane groups per block of the batch."""
+        return (
+            mask.reshape(nb, self.ngroups_full, self.WW)
+            .any(axis=2)
+            .sum(axis=1)
+        )
+
+    def _ngr_list(self, mask: np.ndarray, nb: int) -> list:
+        """Per-block active-group counts as a plain Python list.
+
+        Frames cache this (plus its sum) so the per-instruction loop
+        never touches numpy reductions for cost bookkeeping.
+        """
+        return self._ngr_b(mask, nb).tolist()
 
     # -- ALU semantics -----------------------------------------------------
     def _alu(self, i: Instr, a, b=None, c=None):
@@ -229,9 +381,11 @@ class GridRunner:
         if op is Op.XOR:
             return np.logical_xor(a, b) if i.dtype is Scalar.PRED else a ^ b
         if op is Op.SHL:
-            return a << (b & 31 if np.ndim(b) else int(b) & 31)
+            m = 63 if i.dtype in (Scalar.S64, Scalar.U64) else 31
+            return a << (b & m if np.ndim(b) else int(b) & m)
         if op is Op.SHR:
-            return a >> (b & 31 if np.ndim(b) else int(b) & 31)
+            m = 63 if i.dtype in (Scalar.S64, Scalar.U64) else 31
+            return a >> (b & m if np.ndim(b) else int(b) & m)
         if op is Op.NEG:
             return -a
         if op is Op.NOT:
@@ -239,7 +393,8 @@ class GridRunner:
         if op is Op.ABS:
             return np.abs(a)
         if op is Op.SQRT:
-            return np.sqrt(np.maximum(a, 0))
+            # sqrt(negative) is NaN on real CUDA/OpenCL; propagate it
+            return np.sqrt(a)
         if op is Op.RSQRT:
             return 1.0 / np.sqrt(a)
         if op is Op.SIN:
@@ -247,9 +402,11 @@ class GridRunner:
         if op is Op.COS:
             return np.cos(a)
         if op is Op.EX2:
-            return np.exp2(np.minimum(a, 126.0))
+            # overflow saturates to +inf, exactly like the hardware SFU
+            return np.exp2(a)
         if op is Op.LG2:
-            return np.log2(np.maximum(a, np.finfo(np.float32).tiny))
+            # lg2(0) = -inf, lg2(negative) = NaN — no clamping
+            return np.log2(a)
         if op is Op.FLOOR:
             return np.floor(a)
         if op is Op.CVT:
@@ -257,45 +414,80 @@ class GridRunner:
             return dt(a) if np.ndim(a) == 0 else a.astype(dt)
         raise SimulationError(f"no ALU semantics for {op}")  # pragma: no cover
 
-    # -- block execution -----------------------------------------------------
+    # -- batch execution ---------------------------------------------------
     def run_block(self, bidx: tuple, cu: int) -> None:
+        """Run one block (a batch of size 1); kept for callers/tests."""
+        self.run_batch([bidx], [cu])
+
+    def run_batch(self, bidxs: list, cus: list) -> None:
+        """Run a batch of consecutive blocks in lockstep.
+
+        The functional pass interprets all blocks at once and *records*
+        every cost-bearing visit; :meth:`_replay` then charges the
+        memory system and the cycle accounting per block in linear
+        block order, so the result is bit-identical to running the
+        blocks one at a time (see the module docstring).
+        """
         spec = self.spec
         t = spec.timing
         stats = self.stats
         hist = stats.dyn_hist
-        cyc = stats.cyc_hist
         WW = self.WW
         instrs = self.instrs
         n = self.n_instr
+        nb = len(bidxs)
+        width = self.width
+        lanes = nb * width
+        self._lanes = lanes
 
+        u32 = np.uint32
         geom = {
-            "tid.x": self.tid[0],
-            "tid.y": self.tid[1],
-            "tid.z": self.tid[2],
-            "ctaid.x": np.uint32(bidx[0]),
-            "ctaid.y": np.uint32(bidx[1]),
-            "ctaid.z": np.uint32(bidx[2]),
-            "ntid.x": np.uint32(self.block[0]),
-            "ntid.y": np.uint32(self.block[1]),
-            "ntid.z": np.uint32(self.block[2]),
-            "nctaid.x": np.uint32(self.grid[0]),
-            "nctaid.y": np.uint32(self.grid[1]),
-            "nctaid.z": np.uint32(self.grid[2]),
+            "tid.x": np.tile(self.tid[0], nb),
+            "tid.y": np.tile(self.tid[1], nb),
+            "tid.z": np.tile(self.tid[2], nb),
+            "ctaid.x": np.repeat(np.asarray([b[0] for b in bidxs], dtype=u32), width),
+            "ctaid.y": np.repeat(np.asarray([b[1] for b in bidxs], dtype=u32), width),
+            "ctaid.z": np.repeat(np.asarray([b[2] for b in bidxs], dtype=u32), width),
+            "ntid.x": u32(self.block[0]),
+            "ntid.y": u32(self.block[1]),
+            "ntid.z": u32(self.block[2]),
+            "nctaid.x": u32(self.grid[0]),
+            "nctaid.y": u32(self.grid[1]),
+            "nctaid.z": u32(self.grid[2]),
         }
-        shared = FlatMemory(max(self.k.resources.shared_bytes, 64))
+        #: per-lane local block index, for shared-memory segment routing
+        self._blk = np.repeat(np.arange(nb, dtype=np.int64), width)
+        shared = _SharedBatch(max(self.k.resources.shared_bytes, 64), nb)
         regs: dict[int, np.ndarray] = {}
         local: dict[int, np.ndarray] = {}
-        # frames: [mask, pc, reconv_pc, ngroups, is_full]
-        frames: list[list] = [[self.mask0, 0, n + 1, self.groups_full, True]]
-        prev_op: Op | None = None
-        comp = 0.0
-        memc = 0.0
+        mask0 = np.tile(self.mask0, nb)
+        ngr0 = self._ngr_list(mask0, nb)
+        live = mask0.copy()
+        # frames: [mask, pc, reconv_pc, ngr_list, ngr_total, is_full]
+        frames: list[list] = [[mask0, 0, n + 1, ngr0, sum(ngr0), True]]
+        prev_mad = [False] * nb
+        dual = t.dual_issue_efficiency
+        #: recorded visits for the per-block replay (see _replay)
+        visits: list[tuple] = []
         barriers = 0
         steps = 0
+        # hot-loop locals; dynamic-instruction counts accumulate per pc
+        # and flush into the Counter once per batch (integer sums, so
+        # the flush order cannot change any value)
+        hkey = self.hkey
+        costl = self.cost
+        tpc = self.target_pc
+        imm_cache = self.imm_cache
+        fp_guard = self.fp_guard
+        fp_err = self._fp_err
+        alu_c = t.alu_cycles
+        dyn = [0] * n
+        wi = 0
+        bra_n = 0
 
         while frames:
             frame = frames[-1]
-            mask, pc, rec, ngr, full = frame
+            mask, pc, rec, ngr_l, tot, full = frame
             if pc >= n:
                 break
             if pc == rec and len(frames) > 1:
@@ -303,14 +495,29 @@ class GridRunner:
                 continue
             steps += 1
             if steps > 80_000_000:  # pragma: no cover - runaway guard
-                raise SimulationError("runaway kernel (80M block steps)")
+                raise SimulationError("runaway kernel (80M batch steps)")
             i = instrs[pc]
             op = i.op
             if op is Op.LABEL:
                 frame[1] = pc + 1
                 continue
             if op is Op.EXIT:
-                break
+                # kill every block with a lane in this frame, from every
+                # frame — the batched equivalent of the per-block break
+                killmask = np.repeat(
+                    np.asarray([g > 0 for g in ngr_l]), width
+                )
+                live &= ~killmask
+                kept = []
+                for f in frames:
+                    f[0] = f[0] & ~killmask
+                    if f[0].any():
+                        f[3] = self._ngr_list(f[0], nb)
+                        f[4] = sum(f[3])
+                        f[5] = False
+                        kept.append(f)
+                frames = kept
+                continue
 
             active = mask
             afull = full
@@ -318,17 +525,16 @@ class GridRunner:
                 p, sense = i.pred
                 pv = regs.get(p.idx)
                 if pv is None:
-                    pv = regs[p.idx] = np.zeros(self.width, dtype=bool)
+                    pv = regs[p.idx] = np.zeros(lanes, dtype=bool)
                 active = (mask & pv) if sense else (mask & ~pv)
                 afull = False
 
             if op is Op.BRA:
-                comp += t.alu_cycles * ngr
-                stats.warp_instructions += ngr
-                hist["bra"] += ngr
-                cyc["bra"] += t.alu_cycles * ngr
+                wi += tot
+                bra_n += tot
+                visits.append(("bra", "bra", ngr_l, None))
                 if i.pred is None:
-                    frame[1] = self.target_pc[pc]
+                    frame[1] = tpc[pc]
                     continue
                 taken = active
                 any_taken = taken.any()
@@ -338,196 +544,517 @@ class GridRunner:
                     frame[1] = pc + 1
                     continue
                 if not any_nt:
-                    frame[1] = self.target_pc[pc]
+                    frame[1] = tpc[pc]
                     continue
                 rpc = self.reconv_pc[pc]
                 frame[1] = rpc
-                frames.append(
-                    [ntaken, pc + 1, rpc, self._ngroups(ntaken, WW), False]
-                )
-                frames.append(
-                    [taken, self.target_pc[pc], rpc, self._ngroups(taken, WW), False]
-                )
+                nl = self._ngr_list(ntaken, nb)
+                tl = self._ngr_list(taken, nb)
+                frames.append([ntaken, pc + 1, rpc, nl, sum(nl), False])
+                frames.append([taken, tpc[pc], rpc, tl, sum(tl), False])
                 continue
 
             if op is Op.BAR:
-                # block-lockstep: check convergence, charge, move on
-                if len(frames) > 1:
-                    raise SimulationError(
-                        f"kernel {self.k.name!r}: barrier under divergence"
-                    )
-                barriers += 1
-                comp += t.alu_cycles * ngr
-                cyc["bar"] += t.alu_cycles * ngr
+                # block-lockstep: check per-block convergence, charge,
+                # move on (blocks in *other* frames sync at their own
+                # visit of this barrier)
+                stray = live & ~mask
+                if stray.any():
+                    part = np.asarray([g > 0 for g in ngr_l])
+                    diverged = part & (self._ngr_b(stray, nb) > 0)
+                    if diverged.any():
+                        raise SimulationError(
+                            f"kernel {self.k.name!r}: barrier under divergence"
+                        )
+                barriers += sum(1 for g in ngr_l if g)
+                visits.append(("bar", "bar", ngr_l, None))
                 frame[1] = pc + 1
                 continue
 
-            stats.warp_instructions += ngr
-            hist[self.hkey[pc]] += ngr
-            c0 = comp + memc  # cycles charged by this instruction
+            wi += tot
+            dyn[pc] += tot
+            hk = hkey[pc]
 
             if op is Op.MOV:
                 if i.sreg is not None:
                     val = geom[i.sreg]
-                    comp += t.alu_cycles * ngr
+                    visits.append(("c", hk, ngr_l, alu_c))
                 else:
                     val = self._read(regs, i.srcs[0], pc, 0)
                     # reg-to-reg movs are mostly renamed away by ptxas
-                    comp += self.cost[pc] * ngr
+                    visits.append(("c", hk, ngr_l, costl[pc]))
                 self._write(regs, i.dst, val, active, afull)
             elif op is Op.LD and i.space is AddrSpace.PARAM:
                 self._write(regs, i.dst, self.args[i.param], active, afull)
-                comp += t.alu_cycles * ngr
+                visits.append(("c", hk, ngr_l, alu_c))
             elif op is Op.LD and i.space is AddrSpace.LOCAL:
                 off = int(i.srcs[0].value)
                 slot = local.get(off)
                 if slot is None:
                     slot = local[off] = np.zeros(
-                        self.width, dtype=np_dtype(i.dtype)
+                        lanes, dtype=np_dtype(i.dtype)
                     )
                 self._write(regs, i.dst, slot, active, afull)
-                memc += (
-                    self.memsys.access_local(cu, sizeof(i.dtype), sizeof(i.dtype))
-                    * ngr
-                )
-                stats.mem_instructions += ngr
+                visits.append(("l", hk, ngr_l, sizeof(i.dtype)))
+                stats.mem_instructions += tot
             elif op is Op.ST and i.space is AddrSpace.LOCAL:
                 off = int(i.srcs[0].value)
                 val = self._read(regs, i.srcs[1], pc, 1)
                 slot = local.get(off)
                 if slot is None:
                     slot = local[off] = np.zeros(
-                        self.width, dtype=np_dtype(i.dtype)
+                        lanes, dtype=np_dtype(i.dtype)
                     )
                 if np.ndim(val) == 0:
                     slot[active] = val
                 else:
                     slot[active] = val[active]
-                memc += (
-                    self.memsys.access_local(cu, sizeof(i.dtype), sizeof(i.dtype))
-                    * ngr
-                )
-                stats.mem_instructions += ngr
+                visits.append(("l", hk, ngr_l, sizeof(i.dtype)))
+                stats.mem_instructions += tot
             elif op is Op.LD or op is Op.ST or op is Op.TEX:
-                memc += self._memory_access(regs, i, pc, cu, shared, active, afull)
-                stats.mem_instructions += ngr
+                rows = self._memory_access(regs, i, pc, shared, active, afull, nb)
+                visits.append(("m", hk, ngr_l, rows))
+                stats.mem_instructions += tot
             elif op is Op.SETP:
                 a = self._read(regs, i.srcs[0], pc, 0)
                 b = self._read(regs, i.srcs[1], pc, 1)
                 val = _CMP[i.cmp](a, b)
                 if np.ndim(val) == 0:
-                    val = np.full(self.width, bool(val))
+                    val = np.full(lanes, bool(val))
                 self._write(regs, i.dst, val, active, afull)
-                comp += t.alu_cycles * ngr
+                visits.append(("c", hk, ngr_l, alu_c))
             elif op is Op.SELP:
                 a = self._read(regs, i.srcs[0], pc, 0)
                 b = self._read(regs, i.srcs[1], pc, 1)
                 p = self._read(regs, i.srcs[2], pc, 2)
                 self._write(regs, i.dst, np.where(p, a, b), active, afull)
-                comp += t.alu_cycles * ngr
+                visits.append(("c", hk, ngr_l, alu_c))
             else:
-                srcs = [
-                    self._read(regs, s, pc, j) for j, s in enumerate(i.srcs)
-                ]
-                val = self._alu(i, *srcs)
+                # inlined _read: register arrays resolve with one dict
+                # probe per operand (immediates come pre-converted)
+                imms = imm_cache[pc]
+                srcs = []
+                for j, s in enumerate(i.srcs):
+                    v = imms[j]
+                    if v is None:
+                        v = regs.get(s.idx)
+                        if v is None:
+                            v = regs[s.idx] = np.zeros(
+                                lanes, dtype=np_dtype(s.dtype)
+                            )
+                    srcs.append(v)
+                if fp_guard[pc]:
+                    with np.errstate(**fp_err):
+                        val = self._alu(i, *srcs)
+                else:
+                    val = self._alu(i, *srcs)
                 self._write(regs, i.dst, val, active, afull)
-                cost = self.cost[pc]
+                cost = costl[pc]
                 if (
-                    t.dual_issue_efficiency > 0
+                    dual > 0
                     and op is Op.MUL
-                    and (prev_op is Op.MAD or prev_op is Op.FMA)
                     and i.dtype is Scalar.F32
+                    and any(prev_mad)
                 ):
-                    cost *= 1.0 - t.dual_issue_efficiency
-                comp += cost * ngr
-                prev_op = op  # pairing looks through movs/loads
+                    paired = cost * (1.0 - dual)
+                    visits.append(
+                        (
+                            "C",
+                            hk,
+                            ngr_l,
+                            [
+                                (paired if pm else cost) * g
+                                for pm, g in zip(prev_mad, ngr_l)
+                            ],
+                        )
+                    )
+                else:
+                    visits.append(("c", hk, ngr_l, cost))
+                # pairing looks through movs/loads, and is per block
+                if dual > 0:
+                    flag = op is Op.MAD or op is Op.FMA
+                    prev_mad = [
+                        flag if g else pm for g, pm in zip(ngr_l, prev_mad)
+                    ]
 
-            cyc[self.hkey[pc]] += comp + memc - c0
             frame[1] = pc + 1
 
-        stats.comp_cycles[cu] += comp
-        stats.mem_cycles[cu] += memc
+        stats.warp_instructions += wi
+        if bra_n:
+            hist["bra"] += bra_n
+        for p2 in range(n):
+            v = dyn[p2]
+            if v:
+                hist[hkey[p2]] += v
         stats.barriers += barriers
-        stats.blocks += 1
+        self._replay(visits, nb, cus)
 
     def _memory_access(
-        self, regs, i: Instr, pc: int, cu: int, shared, active, afull
-    ) -> float:
+        self, regs, i: Instr, pc: int, shared, active, afull, nb: int
+    ) -> dict:
+        """Perform the functional memory effect; record the cost rows.
+
+        Returns ``{block: [(kind, addr_array, size), ...]}`` — the
+        per-warp-row access descriptors the batch-end replay feeds to
+        the memory system in per-block order.
+        """
         size = sizeof(i.dtype)
         WW = self.WW
+        lanes = self._lanes
         if i.op is Op.TEX:
             idx = self._read(regs, i.srcs[0], pc, 0)
             base = int(self.args[i.param])
             if np.ndim(idx) == 0:
-                idx = np.full(self.width, idx)
+                idx = np.full(lanes, idx)
             addr_full = idx.astype(np.int64) * size + base
         else:
             a = self._read(regs, i.srcs[0], pc, 0)
             if np.ndim(a) == 0:
-                a = np.full(self.width, a)
+                a = np.full(lanes, a)
             addr_full = a.astype(np.int64)
 
-        cost = 0.0
-        # per hardware-warp costing (coalescing is per warp)
-        amat = addr_full.reshape(-1, WW)
-        mmat = active.reshape(-1, WW)
-        rows = np.flatnonzero(mmat.any(axis=1))
+        # per hardware-warp cost rows (coalescing is a per-warp
+        # phenomenon); rows of a block are contiguous and in-order
+        nwpb = self.ngroups_full
+        space = i.space
         if i.op is Op.TEX:
-            for r in rows.tolist():
-                aa = amat[r][mmat[r]]
-                ss = np.full(aa.shape, size, dtype=np.int64)
-                cost += self.memsys.access_texture(cu, aa, ss)
-            addrs = addr_full[active]
+            kind = "t"
+        elif space is AddrSpace.SHARED:
+            kind = "s"
+        elif space is AddrSpace.CONST:
+            kind = "c"
+        else:
+            kind = "G" if i.op is Op.ST else "g"
+        # fully-active visits skip the mask compaction entirely — the
+        # compacted address list IS the full lane vector ("full" frames
+        # only have every lane active when the block has no padding)
+        afull = afull and self._m0full
+        addrs = addr_full if afull else addr_full[active]
+        rowdata: dict[int, list] = {}
+        handled = False
+        if kind in ("g", "G") and self.spec.architecture != "gt200":
+            # line-rule devices: resolve every warp row's distinct cache
+            # lines in one vectorized pass instead of one np.unique per
+            # row (bit-identical to coalesce(): sorted distinct lines)
+            line = self.spec.line_bytes
+            if line & (line - 1) == 0:
+                # power-of-two line: arithmetic shift is floor division
+                sh = line.bit_length() - 1
+                first = addr_full >> sh
+                last = (addr_full + (size - 1)) >> sh
+            else:  # pragma: no cover - no such device spec today
+                first = addr_full // line
+                last = (addr_full + (size - 1)) // line
+            straddle_free = (
+                np.array_equal(first, last)
+                if afull
+                else np.array_equal(first[active], last[active])
+            )
+            if straddle_free:
+                if afull:
+                    srt = np.sort(first.reshape(-1, WW), axis=1)
+                    newv = np.empty(srt.shape, dtype=bool)
+                    newv[:, 0] = True
+                    newv[:, 1:] = srt[:, 1:] != srt[:, :-1]
+                    keep = newv
+                else:
+                    sent = np.int64(np.iinfo(np.int64).max)
+                    fm = np.where(active, first, sent).reshape(-1, WW)
+                    srt = np.sort(fm, axis=1)
+                    newv = np.empty(srt.shape, dtype=bool)
+                    newv[:, 0] = True
+                    newv[:, 1:] = srt[:, 1:] != srt[:, :-1]
+                    keep = newv & (srt != sent)
+                pk = "P" if kind == "G" else "p"
+                # rows with active lanes are exactly the rows with kept
+                # lines; one flat extraction, then per-row list slices
+                cnt = keep.sum(axis=1).tolist()
+                flat = (srt[keep] * line).tolist()
+                pos = 0
+                for r, c in enumerate(cnt):
+                    if c:
+                        rowdata.setdefault(r // nwpb, []).append(
+                            (pk, flat[pos : pos + c], c * line)
+                        )
+                    pos += c
+                handled = True
+        elif (
+            kind in ("g", "G")
+            and self.spec.architecture == "gt200"
+            and WW % 16 == 0
+        ):
+            # GT200 half-warp rule, vectorized across every warp row of
+            # the visit (bit-identical to segments_gt200 for the common
+            # shape: fully-active rows, no access straddling a 128B
+            # segment).  Each half-warp chunks the *compacted* address
+            # list; sorting it groups same-segment addresses into runs,
+            # whose min/max drive the 128->64->32 shrink rule.
+            if afull:
+                cnt = np.full(addrs.size // WW, WW, dtype=np.int64)
+                rows_uniform = True
+            else:
+                cnt = active.reshape(-1, WW).sum(axis=1)
+                rows_uniform = bool(((cnt == 0) | (cnt == WW)).all())
+            if rows_uniform:
+                size_eff = size if size > 1 else 1
+                half = addrs.reshape(-1, 16)
+                srt = np.sort(half, axis=1)
+                f = srt >> 7
+                if np.array_equal(f, (srt + (size_eff - 1)) >> 7):
+                    newv = np.empty(f.shape, dtype=bool)
+                    newv[:, 0] = True
+                    newv[:, 1:] = f[:, 1:] != f[:, :-1]
+                    lastv = np.empty(f.shape, dtype=bool)
+                    lastv[:, -1] = True
+                    lastv[:, :-1] = newv[:, 1:]
+                    firsts = srt[newv]
+                    lasts = srt[lastv] + size_eff
+                    fit64 = (firsts >> 6) << 6
+                    ok64 = lasts <= fit64 + 64
+                    fit32 = (firsts >> 5) << 5
+                    ok32 = ok64 & (lasts <= fit32 + 32)
+                    starts = np.where(
+                        ok32, fit32, np.where(ok64, fit64, (firsts >> 7) << 7)
+                    ).tolist()
+                    widths = np.where(ok32, 32, np.where(ok64, 64, 128))
+                    segrow = newv.sum(axis=1).reshape(-1, WW // 16).sum(axis=1)
+                    if widths.size:
+                        bounds = np.cumsum(segrow)
+                        traffic = np.add.reduceat(
+                            widths, np.r_[0, bounds[:-1]]
+                        ).tolist()
+                    else:
+                        traffic = []
+                    nsegs = segrow.tolist()
+                    pk = "P" if kind == "G" else "p"
+                    pos = 0
+                    ar = 0
+                    for r, c in enumerate(cnt.tolist()):
+                        if c:
+                            ns = nsegs[ar]
+                            rowdata.setdefault(r // nwpb, []).append(
+                                (pk, starts[pos : pos + ns], traffic[ar])
+                            )
+                            pos += ns
+                            ar += 1
+                    handled = True
+        elif kind == "s":
+            # bank-replay factors are a pure function of the address
+            # pattern (no cache state), so resolve them here; blocks of
+            # a batch almost always address shared memory identically,
+            # so the per-block rows collapse onto block 0's patterns
+            if afull:
+                cnt = [WW] * (addrs.size // WW)
+            else:
+                cnt = active.reshape(-1, WW).sum(axis=1).tolist()
+            if self.spec.local_mem_is_plain_memory:
+                for r, c in enumerate(cnt):
+                    if c:
+                        rowdata.setdefault(r // nwpb, []).append(("S", 1, 0))
+            else:
+                memsys = self.memsys
+                invariant = False
+                if nb > 1:
+                    am = addr_full.reshape(nb, -1)
+                    mm = active.reshape(nb, -1)
+                    invariant = bool(
+                        np.array_equal(
+                            am, np.broadcast_to(am[0], am.shape)
+                        )
+                        and np.array_equal(
+                            mm, np.broadcast_to(mm[0], mm.shape)
+                        )
+                    )
+                if invariant:
+                    reps = [None] * nwpb
+                    pos = 0
+                    for r in range(nwpb):
+                        c = cnt[r]
+                        if c:
+                            reps[r] = memsys.shared_replay_factor(
+                                addrs[pos : pos + c]
+                            )
+                            pos += c
+                    for r, c in enumerate(cnt):
+                        if c:
+                            rowdata.setdefault(r // nwpb, []).append(
+                                ("S", reps[r % nwpb], 0)
+                            )
+                else:
+                    pos = 0
+                    for r, c in enumerate(cnt):
+                        if c:
+                            rowdata.setdefault(r // nwpb, []).append(
+                                (
+                                    "S",
+                                    memsys.shared_replay_factor(
+                                        addrs[pos : pos + c]
+                                    ),
+                                    0,
+                                )
+                            )
+                            pos += c
+            handled = True
+        if not handled:
+            # compacted lane addresses are row-major, so each warp row
+            # owns a contiguous slice of ``addrs``
+            if afull:
+                cnt = [WW] * (addrs.size // WW)
+            else:
+                cnt = active.reshape(-1, WW).sum(axis=1).tolist()
+            pos = 0
+            for r, c in enumerate(cnt):
+                if c:
+                    rowdata.setdefault(r // nwpb, []).append(
+                        (kind, addrs[pos : pos + c], size)
+                    )
+                pos += c
+
+        if i.op is Op.TEX:
             val = self.mem.load(addrs, i.dtype)
             dt = np_dtype(i.dtype)
             arr = regs.get(i.dst.idx)
             if arr is None:
-                arr = regs[i.dst.idx] = np.zeros(self.width, dtype=dt)
-            arr[active] = val
-            return cost
+                arr = regs[i.dst.idx] = np.zeros(lanes, dtype=dt)
+            if afull:
+                arr[:] = val
+            else:
+                arr[active] = val
+            return rowdata
 
-        space = i.space
         if space is AddrSpace.SHARED:
-            target = shared
-            for r in rows.tolist():
-                cost += self.memsys.access_shared(cu, amat[r][mmat[r]])
-        elif space is AddrSpace.CONST:
-            target = self.mem
-            for r in rows.tolist():
-                cost += self.memsys.access_const(cu, amat[r][mmat[r]])
-        else:
-            target = self.mem
-            is_store = i.op is Op.ST
-            for r in rows.tolist():
-                aa = amat[r][mmat[r]]
-                ss = np.full(aa.shape, size, dtype=np.int64)
-                cost += self.memsys.access_global(cu, aa, ss, is_store)
+            blk = self._blk if afull else self._blk[active]
+            if i.op is Op.ST:
+                val = self._read(regs, i.srcs[1], pc, 1)
+                if np.ndim(val) == 0:
+                    val = np.full(lanes, val, dtype=np_dtype(i.dtype))
+                shared.store(addrs, blk, val if afull else val[active], i.dtype)
+            else:
+                out = shared.load(addrs, blk, i.dtype)
+                dt = np_dtype(i.dtype)
+                arr = regs.get(i.dst.idx)
+                if arr is None:
+                    arr = regs[i.dst.idx] = np.zeros(lanes, dtype=dt)
+                if afull:
+                    arr[:] = out
+                else:
+                    arr[active] = out
+            return rowdata
 
-        addrs = addr_full[active]
         if i.op is Op.ST:
             val = self._read(regs, i.srcs[1], pc, 1)
             if np.ndim(val) == 0:
-                val = np.full(self.width, val, dtype=np_dtype(i.dtype))
-            target.store(addrs, val[active], i.dtype)
+                val = np.full(lanes, val, dtype=np_dtype(i.dtype))
+            self.mem.store(addrs, val if afull else val[active], i.dtype)
         else:
-            out = target.load(addrs, i.dtype)
+            out = self.mem.load(addrs, i.dtype)
             dt = np_dtype(i.dtype)
             arr = regs.get(i.dst.idx)
             if arr is None:
-                arr = regs[i.dst.idx] = np.zeros(self.width, dtype=dt)
-            arr[active] = out
-        return cost
+                arr = regs[i.dst.idx] = np.zeros(lanes, dtype=dt)
+            if afull:
+                arr[:] = out
+            else:
+                arr[active] = out
+        return rowdata
+
+    def _replay(self, visits: list, nb: int, cus: list) -> None:
+        """Charge the recorded visits per block, in linear block order.
+
+        This reproduces exactly what per-block execution would have
+        done to the (order-sensitive) memory-system state and to the
+        float accumulation order of the cycle accounting: block ``j``
+        replays all of its visits — memory accesses included — before
+        block ``j + 1`` touches anything.
+        """
+        t = self.spec.timing
+        memsys = self.memsys
+        stats = self.stats
+        cyc = stats.cyc_hist
+        alu = t.alu_cycles
+        for j in range(nb):
+            cu = cus[j]
+            comp = 0.0
+            memc = 0.0
+            for kind, key, ngr_l, data in visits:
+                ngr = ngr_l[j]
+                if not ngr:
+                    continue
+                if kind == "c":
+                    c0 = comp + memc
+                    comp += data * ngr
+                    cyc[key] += comp + memc - c0
+                elif kind == "m":
+                    cost = 0.0
+                    rl = data.get(j)
+                    if rl is not None:
+                        for kc, aa, size in rl:
+                            if kc == "p":
+                                cost += memsys.access_global_segs(
+                                    cu, aa, size, False
+                                )
+                            elif kc == "P":
+                                cost += memsys.access_global_segs(
+                                    cu, aa, size, True
+                                )
+                            elif kc == "g":
+                                ss = np.full(aa.shape, size, dtype=np.int64)
+                                cost += memsys.access_global(cu, aa, ss, False)
+                            elif kc == "G":
+                                ss = np.full(aa.shape, size, dtype=np.int64)
+                                cost += memsys.access_global(cu, aa, ss, True)
+                            elif kc == "S":
+                                # pre-resolved shared access: aa is the
+                                # bank-replay factor (see record side)
+                                memsys.shared_accesses += 1
+                                memsys.shared_replays += aa - 1
+                                cost += t.shared_latency + (aa - 1) * 4.0
+                            elif kc == "s":
+                                cost += memsys.access_shared(cu, aa)
+                            elif kc == "c":
+                                cost += memsys.access_const(cu, aa)
+                            else:
+                                ss = np.full(aa.shape, size, dtype=np.int64)
+                                cost += memsys.access_texture(cu, aa, ss)
+                    c0 = comp + memc
+                    memc += cost
+                    cyc[key] += comp + memc - c0
+                elif kind == "C":
+                    c0 = comp + memc
+                    comp += data[j]
+                    cyc[key] += comp + memc - c0
+                elif kind == "l":
+                    c0 = comp + memc
+                    memc += memsys.access_local(cu, data, data) * ngr
+                    cyc[key] += comp + memc - c0
+                elif kind == "bra":
+                    comp += alu * ngr
+                    cyc["bra"] += alu * ngr
+                else:  # "bar"
+                    comp += alu * ngr
+                    cyc["bar"] += alu * ngr
+            stats.comp_cycles[cu] += comp
+            stats.mem_cycles[cu] += memc
+            stats.blocks += 1
 
     def run(self) -> LaunchStats:
         gx, gy, gz = self.grid
         n_cu = self.spec.compute_units
-        lin = 0
-        with np.errstate(all="ignore"):
-            for bz in range(gz):
-                for by in range(gy):
-                    for bx in range(gx):
-                        self.run_block((bx, by, bz), lin % n_cu)
-                        lin += 1
+        bidxs = [
+            (bx, by, bz)
+            for bz in range(gz)
+            for by in range(gy)
+            for bx in range(gx)
+        ]
+        nblocks = len(bidxs)
+        if self.batch_blocks is not None:
+            batch = max(1, min(int(self.batch_blocks), nblocks))
+        else:
+            batch = _batch_size(self.width, nblocks)
+        for lo in range(0, nblocks, batch):
+            chunk = bidxs[lo : lo + batch]
+            cus = [(lo + j) % n_cu for j in range(len(chunk))]
+            self.run_batch(chunk, cus)
         return self.stats
 
 
@@ -539,6 +1066,9 @@ def run_grid(
     args: dict,
     grid: tuple,
     block: tuple,
+    batch_blocks: int | None = None,
 ) -> LaunchStats:
     """Execute ``kernel`` over the ND-range; returns dynamic statistics."""
-    return GridRunner(kernel, spec, memsys, mem, args, grid, block).run()
+    return GridRunner(
+        kernel, spec, memsys, mem, args, grid, block, batch_blocks=batch_blocks
+    ).run()

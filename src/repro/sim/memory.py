@@ -5,8 +5,19 @@ One :class:`FlatMemory` instance backs a device's global+constant space
 byte addresses); small per-block instances back shared memory.  Loads
 and stores are numpy-vectorized over warp lanes — per the HPC guides,
 the hot path avoids Python-level per-lane loops entirely.
+
+Launch-memoization support: between :meth:`FlatMemory.begin_trace` and
+:meth:`FlatMemory.end_trace` every kernel-side access is traced as a
+coarse byte interval.  Reads (and the pre-image of write intervals,
+which covers any bytes a coarse store range merely straddles) hash
+into an input digest in execution order; writes accumulate a merged
+interval set whose post-image the memo table snapshots.  Launches with
+wrapping (out-of-range) accesses mark the trace unusable — those are
+Table-VI "FL"-style buggy kernels and are simply never memoized.
 """
 from __future__ import annotations
+
+import hashlib
 
 import numpy as np
 
@@ -15,6 +26,40 @@ from ..kir.types import Scalar, np_dtype, sizeof
 __all__ = ["FlatMemory", "OutOfDeviceMemory"]
 
 _ALIGN = 256
+
+#: tracing gives up past this many hashed input bytes per launch
+_TRACE_CAP = 64 << 20
+
+
+def _merge_add(ivs: list, lo: int, hi: int) -> list:
+    """``ivs`` with ``[lo, hi)`` merged in (sorted, disjoint)."""
+    ivs = ivs + [(lo, hi)]
+    ivs.sort()
+    out = [list(ivs[0])]
+    for a, b in ivs[1:]:
+        if a <= out[-1][1]:
+            if b > out[-1][1]:
+                out[-1][1] = b
+        else:
+            out.append([a, b])
+    return [(a, b) for a, b in out]
+
+
+def _subtract(lo: int, hi: int, ivs: list):
+    """Yield the parts of ``[lo, hi)`` not covered by sorted ``ivs``."""
+    cur = lo
+    for a, b in ivs:
+        if b <= cur:
+            continue
+        if a >= hi:
+            break
+        if a > cur:
+            yield (cur, min(a, hi))
+        cur = b
+        if cur >= hi:
+            break
+    if cur < hi:
+        yield (cur, hi)
 
 
 class OutOfDeviceMemory(MemoryError):
@@ -31,6 +76,44 @@ class FlatMemory:
         self._views: dict = {}
         #: count of wrapped out-of-range accesses (kernel bugs; see load)
         self.oob_accesses = 0
+        #: active launch trace (see module docstring), or None
+        self._tr: dict | None = None
+
+    # -- launch tracing (memoization support) ---------------------------
+    def begin_trace(self) -> None:
+        self._tr = {
+            "ok": True,
+            "written": [],  # merged store intervals (post-image extent)
+            "hashed": [],  # intervals already folded into the digest
+            "reads": [],  # digest input intervals, in hash order
+            "hash": hashlib.blake2b(digest_size=16),
+            "bytes": 0,
+        }
+
+    def end_trace(self) -> dict:
+        tr, self._tr = self._tr, None
+        tr["digest"] = tr["hash"].digest()
+        tr["writes"] = tr["written"]
+        return tr
+
+    def _trace_read(self, lo: int, hi: int) -> None:
+        """Fold the not-yet-covered parts of ``[lo, hi)`` into the digest.
+
+        Bytes already written this launch are kernel-internal, not
+        external input; bytes already hashed need not be re-hashed (a
+        guard re-hash at lookup walks the same recorded intervals in
+        the same order, so coverage — not repetition — is what matters).
+        """
+        tr = self._tr
+        for a, b in _subtract(lo, hi, tr["written"]):
+            for c, d in _subtract(a, b, tr["hashed"]):
+                tr["bytes"] += d - c
+                if tr["bytes"] > _TRACE_CAP:
+                    tr["ok"] = False
+                    return
+                tr["hash"].update(self._buf[c:d])
+                tr["reads"].append((c, d))
+                tr["hashed"] = _merge_add(tr["hashed"], c, d)
 
     # -- allocation -----------------------------------------------------
     def alloc(self, nbytes: int) -> int:
@@ -79,10 +162,15 @@ class FlatMemory:
         """
         size = sizeof(scalar)
         view = self._view(scalar)
-        idx = (addrs // size) % view.size
-        if (idx < 0).any() or ((addrs // size) != idx).any():
-            self.oob_accesses += int(np.count_nonzero((addrs // size) != idx))
+        raw = addrs // size
+        idx = raw % view.size
+        if (idx < 0).any() or (raw != idx).any():
+            self.oob_accesses += int(np.count_nonzero(raw != idx))
             idx = idx % view.size
+            if self._tr is not None:
+                self._tr["ok"] = False
+        elif self._tr is not None and self._tr["ok"] and idx.size:
+            self._trace_read(int(idx.min()) * size, (int(idx.max()) + 1) * size)
         return view[idx]
 
     def store(self, addrs: np.ndarray, values: np.ndarray, scalar: Scalar) -> None:
@@ -99,6 +187,19 @@ class FlatMemory:
         bad = raw != idx
         if bad.any():
             self.oob_accesses += int(np.count_nonzero(bad))
+            if self._tr is not None:
+                self._tr["ok"] = False
+        elif self._tr is not None and self._tr["ok"] and idx.size:
+            lo = int(idx.min()) * size
+            hi = (int(idx.max()) + 1) * size
+            # Hash the pre-image first: the coarse [lo, hi) interval may
+            # contain gap bytes no lane actually writes, and treating
+            # them as guarded input makes replaying the post-image over
+            # the whole interval exact (guard match ⇒ gaps unchanged).
+            self._trace_read(lo, hi)
+            tr = self._tr
+            if tr["ok"]:
+                tr["written"] = _merge_add(tr["written"], lo, hi)
         view[idx] = values
 
     # convenience for the runtimes -----------------------------------------

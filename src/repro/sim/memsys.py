@@ -50,6 +50,32 @@ class MemorySystem:
         self.shared_accesses = 0
         self.shared_replays = 0
         self.spill_bytes = 0.0
+        # address-pattern memos: kernels replay the same few warp access
+        # patterns thousands of times, and the pure geometry of a
+        # pattern (coalesced segments, touched lines, bank replays) is
+        # independent of cache state — memoize it by the address bytes
+        self._pat_global: dict = {}
+        self._pat_tex: dict = {}
+        self._pat_const: dict = {}
+        self._pat_shared: dict = {}
+        # launch-memo journal of individual dram_bytes adds, or None.
+        # dram_bytes is a float fold whose value is summation-order
+        # sensitive; memo replay re-applies this exact add sequence.
+        self._dram_log: list | None = None
+
+    def begin_dram_log(self) -> None:
+        self._dram_log = []
+
+    def end_dram_log(self) -> list:
+        log, self._dram_log = self._dram_log, None
+        return log
+
+    _PAT_CAP = 1 << 15  # per-table entry cap (memos stop growing past it)
+
+    @staticmethod
+    def _pat_put(table: dict, key, value) -> None:
+        if len(table) < MemorySystem._PAT_CAP:
+            table[key] = value
 
     def cache_groups(self) -> dict:
         """Named cache banks for per-launch profiling.
@@ -115,29 +141,50 @@ class MemorySystem:
         self, cu: int, addrs: np.ndarray, sizes: np.ndarray, is_store: bool
     ) -> float:
         """Plain global-space access (the ld.global/st.global path)."""
+        key = (addrs.dtype.char, addrs.tobytes(), sizes.tobytes())
+        hit = self._pat_global.get(key)
+        if hit is None:
+            segs, traffic = coalesce(self.spec, addrs, sizes)
+            hit = (segs.tolist(), traffic)
+            self._pat_put(self._pat_global, key, hit)
+        seg_list, traffic = hit
+        return self.access_global_segs(cu, seg_list, traffic, is_store)
+
+    def access_global_segs(
+        self, cu: int, seg_list: list, traffic: int, is_store: bool
+    ) -> float:
+        """Global access with the coalescing already resolved.
+
+        The interpreter pre-computes line segments for whole visits at
+        once (vectorized over every warp of a block batch); this entry
+        point applies the cache/DRAM state walk to one warp's segments.
+        """
         t = self.spec.timing
-        segs, traffic = coalesce(self.spec, addrs, sizes)
-        nseg = max(int(segs.size), 1)
+        nseg = max(len(seg_list), 1)
         self.gmem_requests += 1
         self.gmem_transactions += nseg
         if is_store:
             # write-through, fire-and-forget: traffic but little stall
             self.dram_bytes[cu] += traffic
+            if self._dram_log is not None:
+                self._dram_log.append((cu, traffic))
             if self.spec.has_global_cache:
-                for b in segs.tolist():
+                for b in seg_list:
                     self.l2.access(int(b))
             else:
-                self._count_regions(segs.tolist())
+                self._count_regions(seg_list)
             return t.tx_cycles * nseg
         if not self.spec.has_global_cache:
             self.dram_bytes[cu] += traffic
-            self._count_regions(segs.tolist())
+            if self._dram_log is not None:
+                self._dram_log.append((cu, traffic))
+            self._count_regions(seg_list)
             self.l1[cu].stats.misses += nseg  # null path: all misses
             return t.dram_latency + t.tx_cycles * (nseg - 1)
         # Fermi-style: L1 -> L2 -> DRAM
         worst = t.l1_hit
         per_seg = traffic / nseg if nseg else 0.0
-        for b in segs.tolist():
+        for b in seg_list:
             b = int(b)
             if self.l1[cu].access(b):
                 continue
@@ -146,6 +193,8 @@ class MemorySystem:
             else:
                 worst = max(worst, t.dram_latency)
                 self.dram_bytes[cu] += per_seg
+                if self._dram_log is not None:
+                    self._dram_log.append((cu, per_seg))
                 self.region_counts[b >> 8] += 1
         return worst + t.tx_cycles * (nseg - 1)
 
@@ -158,15 +207,21 @@ class MemorySystem:
         """
         t = self.spec.timing
         line = 32
-        first = addrs // line
-        last = (addrs + np.maximum(sizes, 1) - 1) // line
-        lines = np.union1d(first, last) * line
-        nseg = max(int(lines.size), 1)
+        key = (addrs.dtype.char, addrs.tobytes(), sizes.tobytes())
+        line_list = self._pat_tex.get(key)
+        if line_list is None:
+            first = addrs // line
+            last = (addrs + np.maximum(sizes, 1) - 1) // line
+            line_list = (np.union1d(first, last) * line).tolist()
+            self._pat_put(self._pat_tex, key, line_list)
+        nseg = max(len(line_list), 1)
         worst = t.tex_hit
-        for b in lines.tolist():
+        for b in line_list:
             if not self.tex[cu].access(int(b)):
                 worst = max(worst, t.dram_latency)
                 self.dram_bytes[cu] += line
+                if self._dram_log is not None:
+                    self._dram_log.append((cu, line))
                 self.region_counts[int(b) >> 8] += 1
         # the texture pipeline is built for many small scattered
         # fetches: extra segments are much cheaper than on the L1 path
@@ -179,17 +234,33 @@ class MemorySystem:
         constant path on every CUDA-class device.
         """
         t = self.spec.timing
-        uniq = np.unique(addrs)
+        key = (addrs.dtype.char, addrs.tobytes())
+        bases = self._pat_const.get(key)
+        if bases is None:
+            # one entry per *distinct address* in sorted order (two
+            # addresses in the same 64B line still serialize)
+            bases = [(int(a) // 64) * 64 for a in np.unique(addrs).tolist()]
+            self._pat_put(self._pat_const, key, bases)
         cost = 0.0
-        for a in uniq.tolist():
-            base = (int(a) // 64) * 64
+        for base in bases:
             if self.const[cu].access(base):
                 cost += t.const_hit
             else:
                 cost += t.dram_latency
                 self.dram_bytes[cu] += 64
+                if self._dram_log is not None:
+                    self._dram_log.append((cu, 64))
                 self.region_counts[base >> 8] += 1
         return cost
+
+    def shared_replay_factor(self, addrs: np.ndarray) -> int:
+        """Memoized :func:`~repro.arch.banks.bank_conflicts`."""
+        key = (addrs.dtype.char, addrs.tobytes())
+        replays = self._pat_shared.get(key)
+        if replays is None:
+            replays = bank_conflicts(self.spec, addrs)
+            self._pat_put(self._pat_shared, key, replays)
+        return replays
 
     def access_shared(self, cu: int, addrs: np.ndarray) -> float:
         """Banked shared/local-memory access."""
@@ -199,7 +270,7 @@ class MemorySystem:
             # CPU device: "local" memory is ordinary cached memory — the
             # staging copy is pure overhead (paper §V, TranP on Intel920)
             return t.shared_latency
-        replays = bank_conflicts(self.spec, addrs)
+        replays = self.shared_replay_factor(addrs)
         self.shared_replays += replays - 1
         return t.shared_latency + (replays - 1) * 4.0
 
@@ -215,4 +286,6 @@ class MemorySystem:
         if self.spec.has_global_cache:
             return t.l1_hit
         self.dram_bytes[cu] += traffic
+        if self._dram_log is not None:
+            self._dram_log.append((cu, traffic))
         return t.dram_latency * 0.5 + t.tx_cycles

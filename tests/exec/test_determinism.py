@@ -61,3 +61,47 @@ def test_sweep_summary_goes_to_stderr_not_stdout(tmp_path):
     # per-experiment wall timings are stderr-only too
     assert "(fig1:" in res.stderr
     assert "(fig1:" not in res.stdout
+
+
+def test_results_json_byte_identical_across_sim_modes():
+    """Cold, per-block, and memoized simulation render identical bytes.
+
+    The cold-path optimizations (block-batched stepping, launch
+    memoization) are licensed by this invariant: the canonical unit
+    payload must not depend on REPRO_SIM_BATCH or REPRO_SIM_MEMO.
+    """
+    import json as _json
+
+    from repro import exec as rexec
+    from repro.arch.specs import CELLBE, GTX280, GTX480
+
+    units = [
+        rexec.make_unit("TranP", "cuda", GTX480, "small"),
+        rexec.make_unit("TranP", "opencl", GTX280, "small"),
+        rexec.make_unit("MxM", "opencl", CELLBE, "small"),
+    ]
+
+    def canon_all(env):
+        saved = {k: os.environ.get(k) for k in env}
+        os.environ.update(env)
+        try:
+            ex = rexec.SweepExecutor()
+            out = []
+            for u in units:
+                payload = rexec.result_to_json(ex.run_unit(u))
+                payload["seconds"] = 0.0
+                if payload.get("profile"):
+                    payload["profile"]["compile_s"] = 0.0
+                out.append(_json.dumps(payload, sort_keys=True))
+            return out
+        finally:
+            for k, v in saved.items():
+                if v is None:
+                    os.environ.pop(k, None)
+                else:
+                    os.environ[k] = v
+
+    batched = canon_all({"REPRO_SIM_BATCH": "", "REPRO_SIM_MEMO": "1"})
+    per_block = canon_all({"REPRO_SIM_BATCH": "1", "REPRO_SIM_MEMO": "1"})
+    no_memo = canon_all({"REPRO_SIM_BATCH": "", "REPRO_SIM_MEMO": "0"})
+    assert batched == per_block == no_memo

@@ -249,3 +249,105 @@ def test_scan_matches_cumsum_for_any_seed(seed):
     ref = np.concatenate([[0], np.cumsum(data[:-1])])
     assert np.array_equal(sh_out, ref)
     assert sums[0] == data.sum()
+
+
+# ---------------------------------------------------------------------------
+# cold-path bit-identity: block-batched stepping and launch memoization
+# may change only *how fast* a launch simulates, never any number it
+# produces (ISSUE 6 tentpole contract)
+# ---------------------------------------------------------------------------
+
+import contextlib
+import os
+
+from repro.arch import CELLBE
+
+
+@contextlib.contextmanager
+def _sim_env(batch=None, memo=False):
+    saved = {k: os.environ.get(k) for k in ("REPRO_SIM_BATCH", "REPRO_SIM_MEMO")}
+    try:
+        if batch is None:
+            os.environ.pop("REPRO_SIM_BATCH", None)
+        else:
+            os.environ["REPRO_SIM_BATCH"] = str(batch)
+        os.environ["REPRO_SIM_MEMO"] = "1" if memo else "0"
+        yield
+    finally:
+        for k, v in saved.items():
+            if v is None:
+                os.environ.pop(k, None)
+            else:
+                os.environ[k] = v
+
+
+def _launch_series(spec, ptx, data, repeats):
+    """Launch ``repeats`` times; return every observable number."""
+    dev = SimDevice(spec)
+    pa, po = dev.alloc(data.nbytes), dev.alloc(data.nbytes)
+    dev.upload(pa, data)
+    series = []
+    for _ in range(repeats):
+        r = dev.launch(ptx, 5, 48, {"a": pa, "o": po})
+        series.append(
+            (
+                r.timing.total_s,
+                r.stats.warp_instructions,
+                r.stats.barriers,
+                dict(r.stats.dyn_hist),
+                dict(r.stats.cyc_hist),
+                r.profile.issue_cycles,
+                r.profile.instr_counts,
+            )
+        )
+    out = dev.download(po, data.size, Scalar.S32)[0]
+    snap = dev.memsys.prof_snapshot()
+    return (
+        series,
+        out.tobytes(),
+        snap["dram_bytes"].tobytes(),  # exact float bit patterns
+        snap["caches"],
+        snap["gmem_requests"],
+        snap["gmem_transactions"],
+    )
+
+
+@pytest.mark.parametrize(
+    "spec,comp,dialect",
+    [(GTX480, compile_cuda, CUDA), (CELLBE, compile_opencl, OPENCL)],
+    ids=lambda v: getattr(v, "name", None) or "",
+)
+@settings(
+    max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+@given(
+    expr=_int_exprs(3),
+    data=st.lists(st.integers(-1000, 1000), min_size=240, max_size=240),
+)
+def test_batched_and_memoized_execution_bit_identical(
+    spec, comp, dialect, expr, data
+):
+    """Per-block, block-batched, and memoized runs agree bit-for-bit.
+
+    The grid uses 48-thread blocks (not a warp multiple) so the batched
+    fast paths must handle masked padding lanes, and 5 blocks so the
+    batch actually spans several blocks.
+    """
+    k = KernelBuilder("bb", dialect)
+    a = k.buffer("a", Scalar.S32)
+    o = k.buffer("o", Scalar.S32)
+    t = k.let("t", k.global_id(0), Scalar.S32)
+    v = k.let("v", a[t])
+    k.store(o, t, expr)
+    ptx = comp(k.finish(), max_regs=63)
+    A = np.array(data, dtype=np.int32)
+
+    with _sim_env(batch=1, memo=False):
+        per_block = _launch_series(spec, ptx, A, repeats=4)
+    with _sim_env(batch=None, memo=False):
+        batched = _launch_series(spec, ptx, A, repeats=4)
+    with _sim_env(batch=None, memo=True):
+        memoized = _launch_series(spec, ptx, A, repeats=4)
+
+    assert batched == per_block
+    assert memoized == per_block

@@ -149,3 +149,101 @@ def test_geometry_registers_all_dims():
     dev.launch(ptx, (2, 2), (4, 4), {"o": po})
     got, _ = dev.download(po, 64, Scalar.S32)
     np.testing.assert_array_equal(got, np.arange(64, dtype=np.int32))
+
+
+# ---------------------------------------------------------------------------
+# shift-count masking follows the operand width (PTX shl/shr semantics:
+# the count is taken mod 32 for 32-bit operands and mod 64 for 64-bit)
+# ---------------------------------------------------------------------------
+
+
+def _run_u64_shift(op, x, counts):
+    k = KernelBuilder("sh64", CUDA)
+    a = k.buffer("a", Scalar.U64)
+    s = k.buffer("s", Scalar.U32)
+    o = k.buffer("o", Scalar.U64)
+    t = k.let("t", k.tid.x, Scalar.S32)
+    v = k.let("v", a[t], Scalar.U64)
+    c = k.let("c", s[t], Scalar.U32)
+    k.store(o, t, (v << c) if op == "shl" else (v >> c))
+    ptx = compile_cuda(k.finish())
+    dev = SimDevice(GTX480)
+    pa, ps, po = dev.alloc(x.nbytes), dev.alloc(counts.nbytes), dev.alloc(x.nbytes)
+    dev.upload(pa, x)
+    dev.upload(ps, counts)
+    dev.launch(ptx, 1, x.size, {"a": pa, "s": ps, "o": po})
+    return dev.download(po, x.size, Scalar.U64)[0]
+
+
+def test_shift_count_masked_to_63_for_u64():
+    # counts 32..63 are meaningful for 64-bit operands — a 31 mask (the
+    # 32-bit rule) would silently reduce them all to 0..31
+    x = np.arange(1, 33, dtype=np.uint64) * np.uint64(0x0123456789ABCDEF)
+    counts = (np.arange(32, dtype=np.uint32) + 20) % 70  # spans >= 64 too
+    m = counts.astype(np.uint64) & np.uint64(63)
+    np.testing.assert_array_equal(_run_u64_shift("shl", x, counts), x << m)
+    np.testing.assert_array_equal(_run_u64_shift("shr", x, counts), x >> m)
+
+
+def test_u64_shift_matches_reference_evaluator():
+    from repro.kir import eval_kernel
+
+    k = KernelBuilder("sh64e", CUDA)
+    a = k.buffer("a", Scalar.U64)
+    s = k.buffer("s", Scalar.U32)
+    o = k.buffer("o", Scalar.U64)
+    t = k.let("t", k.tid.x, Scalar.S32)
+    v = k.let("v", a[t], Scalar.U64)
+    c = k.let("c", s[t], Scalar.U32)
+    k.store(o, t, (v << c) | (v >> c))
+    kern = k.finish()
+    x = np.arange(1, 17, dtype=np.uint64) * np.uint64(0xDEADBEEFCAFE)
+    counts = np.arange(16, dtype=np.uint32) * 5  # 0..75
+    env = {"a": x.copy(), "s": counts.copy(), "o": np.zeros_like(x)}
+    eval_kernel(kern, 1, 16, env)
+    ptx = compile_cuda(kern)
+    dev = SimDevice(GTX480)
+    pa, ps, po = dev.alloc(x.nbytes), dev.alloc(counts.nbytes), dev.alloc(x.nbytes)
+    dev.upload(pa, x)
+    dev.upload(ps, counts)
+    dev.launch(ptx, 1, 16, {"a": pa, "s": ps, "o": po})
+    got = dev.download(po, 16, Scalar.U64)[0]
+    np.testing.assert_array_equal(got, env["o"])
+
+
+# ---------------------------------------------------------------------------
+# SFU special-value semantics: the simulator propagates IEEE specials the
+# way real CUDA/OpenCL hardware does (no clamping of domain errors)
+# ---------------------------------------------------------------------------
+
+
+def test_sqrt_propagates_nan():
+    x = np.array([4.0, -4.0, np.nan, 0.0] * 8, dtype=np.float32)
+    got = _run_unary(lambda k, v: k.sqrt(v), x)
+    assert got[0] == 2.0 and got[3] == 0.0
+    assert np.isnan(got[1])  # sqrt(negative) -> NaN, not clamped to 0
+    assert np.isnan(got[2])  # NaN propagates
+
+
+def test_exp_overflow_saturates_to_inf():
+    # exp lowers to EX2 (2^x after scaling); overflow must saturate to
+    # +inf like the hardware SFU, not clamp to FLT_MAX
+    x = np.array([0.0, 1.0, 200.0, -200.0] * 8, dtype=np.float32)
+    got = _run_unary(lambda k, v: k.exp(v), x)
+    assert got[0] == 1.0
+    np.testing.assert_allclose(got[1], np.float32(np.e), rtol=1e-6)
+    assert np.isinf(got[2]) and got[2] > 0  # e^200 overflows f32 -> +inf
+    assert got[3] == 0.0  # e^-200 underflows -> 0
+
+
+def test_log_zero_and_negative():
+    # log lowers to LG2 (no domain clamping): log(0) is -inf and
+    # log(negative) is NaN, exactly as on the device
+    from repro.kir.expr import UnOp
+
+    x = np.array([1.0, np.e, 0.0, -2.0] * 8, dtype=np.float32)
+    got = _run_unary(lambda k, v: UnOp("log", v), x)
+    assert got[0] == 0.0
+    np.testing.assert_allclose(got[1], 1.0, rtol=1e-6)
+    assert np.isneginf(got[2])  # log(0) -> -inf
+    assert np.isnan(got[3])  # log(negative) -> NaN

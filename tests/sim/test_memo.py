@@ -1,0 +1,149 @@
+"""Launch-memoization contract: guarded replay is bit-identical.
+
+The memo table may only ever change *how fast* a repeated launch
+completes, never any observable number — these tests compare full
+device state (memory bytes, dram float bit patterns, cache stats,
+launch statistics and profiles) between memoized and cold execution.
+"""
+import numpy as np
+import pytest
+
+from repro.arch import GTX280, GTX480
+from repro.compiler import compile_cuda
+from repro.kir import CUDA, KernelBuilder, Scalar
+from repro.sim import SimDevice
+from repro.sim.memo import LaunchMemo, kernel_digest
+
+
+def _saxpy():
+    k = KernelBuilder("saxpy", CUDA)
+    a = k.buffer("a", Scalar.F32)
+    o = k.buffer("o", Scalar.F32)
+    i = k.let("i", k.global_id(0), Scalar.S32)
+    v = k.let("v", a[i])
+    k.store(o, i, v * 2.0 + k.sqrt(k.abs(v)))
+    return compile_cuda(k.finish())
+
+
+def _setup(spec, memoize, data):
+    dev = SimDevice(spec, memoize=memoize)
+    pa = dev.alloc(data.nbytes)
+    dev.upload(pa, data)
+    po = dev.alloc(data.nbytes)
+    dev.upload(po, np.zeros_like(data))
+    return dev, pa, po
+
+
+def _result_key(r):
+    return (
+        r.timing.total_s,
+        r.stats.warp_instructions,
+        dict(r.stats.dyn_hist),
+        dict(r.stats.cyc_hist),
+        r.profile.issue_cycles,
+        r.profile.instr_counts,
+    )
+
+
+@pytest.mark.parametrize("spec", [GTX480, GTX280], ids=lambda s: s.name)
+def test_repeat_launches_bit_identical(spec):
+    ptx = _saxpy()
+    data = np.random.default_rng(7).uniform(-2, 2, 256).astype(np.float32)
+
+    def run(memoize):
+        dev, pa, po = _setup(spec, memoize, data)
+        keys = []
+        for _ in range(6):
+            keys.append(_result_key(dev.launch(ptx, 8, 32, {"a": pa, "o": po})))
+        out = dev.download(po, data.size, Scalar.F32)[0]
+        return keys, out, dev.memsys.prof_snapshot(), dev
+
+    cold_keys, cold_out, cold_snap, _ = run(False)
+    memo_keys, memo_out, memo_snap, dev = run(True)
+
+    assert dev.memo is not None and dev.memo.hits > 0
+    assert cold_keys == memo_keys
+    assert np.array_equal(cold_out, memo_out)
+    # dram_bytes is a float fold: require identical *bit patterns*
+    assert np.array_equal(
+        cold_snap["dram_bytes"].view(np.uint64),
+        memo_snap["dram_bytes"].view(np.uint64),
+    )
+    assert cold_snap["caches"] == memo_snap["caches"]
+    for key in ("gmem_requests", "gmem_transactions", "shared_accesses",
+                "shared_replays", "spill_bytes"):
+        assert cold_snap[key] == memo_snap[key]
+
+
+def test_input_change_misses():
+    ptx = _saxpy()
+    data = np.ones(64, dtype=np.float32)
+    dev, pa, po = _setup(GTX480, True, data)
+    for _ in range(3):
+        dev.launch(ptx, 2, 32, {"a": pa, "o": po})
+    hits_before = dev.memo.hits
+    assert hits_before > 0
+    # mutate the input buffer: the read-digest guard must reject replay
+    dev.upload(pa, data * 3)
+    r_fresh = dev.launch(ptx, 2, 32, {"a": pa, "o": po})
+    out = dev.download(po, 64, Scalar.F32)[0]
+    np.testing.assert_allclose(out, 3 * 2.0 + np.sqrt(3.0), rtol=1e-6)
+    assert r_fresh is not None
+
+
+def test_arg_change_is_a_different_key():
+    k = KernelBuilder("scale", CUDA)
+    o = k.buffer("o", Scalar.F32)
+    s = k.scalar("s", Scalar.F32)
+    i = k.let("i", k.global_id(0), Scalar.S32)
+    k.store(o, i, s)
+    ptx = compile_cuda(k.finish())
+    dev = SimDevice(GTX480, memoize=True)
+    po = dev.alloc(64 * 4)
+    for _ in range(3):
+        dev.launch(ptx, 2, 32, {"o": po, "s": 1.5})
+    dev.launch(ptx, 2, 32, {"o": po, "s": 2.5})
+    out = dev.download(po, 64, Scalar.F32)[0]
+    assert np.all(out == np.float32(2.5))
+
+
+def test_oob_launch_never_memoized():
+    k = KernelBuilder("wild", CUDA)
+    o = k.buffer("o", Scalar.S32)
+    i = k.let("i", k.global_id(0), Scalar.S32)
+    k.store(o, i + 500_000_000, i)  # ~2 GB: beyond capacity, wraps
+    ptx = compile_cuda(k.finish())
+    dev = SimDevice(GTX480, memoize=True)
+    po = dev.alloc(64 * 4)
+    for _ in range(3):
+        dev.launch(ptx, 2, 32, {"o": po})
+    assert dev.memo.hits == 0
+    assert dev.memo.skipped > 0
+
+
+def test_memoize_flag_and_env(monkeypatch):
+    assert SimDevice(GTX480, memoize=False).memo is None
+    assert SimDevice(GTX480, memoize=True).memo is not None
+    monkeypatch.setenv("REPRO_SIM_MEMO", "0")
+    assert SimDevice(GTX480).memo is None
+    monkeypatch.delenv("REPRO_SIM_MEMO")
+    assert SimDevice(GTX480).memo is not None
+
+
+def test_kernel_digest_stable_across_clones():
+    from repro.compiler import ccache
+
+    ccache.clear()
+    try:
+        a = _saxpy()
+        b = _saxpy()  # compile-cache hit: a defensive clone
+        assert a is not b
+        assert kernel_digest(a) == kernel_digest(b)
+    finally:
+        ccache.clear()
+
+
+def test_memo_stats_dict():
+    memo = LaunchMemo()
+    d = memo.stats_dict()
+    assert d == {"hits": 0, "misses": 0, "skipped": 0, "entries": 0}
