@@ -64,6 +64,21 @@ def main(argv=None) -> int:
         help="write all results as canonical JSON (deterministic bytes; "
         "skipped when the run is interrupted)",
     )
+    ap.add_argument(
+        "--variants", action="store_true",
+        help="also generate and run every legal rewrite-rule variant of "
+        "each benchmark's kernels (repro.kir.rewrite), comparing each "
+        "variant's output to its baseline",
+    )
+    ap.add_argument(
+        "--check-variants", action="store_true",
+        help="like --variants, but any semantics-preservation violation "
+        "(variant output differs from baseline) fails the run",
+    )
+    ap.add_argument(
+        "--variant-manifest", default=None, metavar="FILE",
+        help="write the variant differential results as a JSON artifact",
+    )
     lifecycle.add_lifecycle_arguments(ap)
     telemetry.add_telemetry_arguments(ap)
     args = ap.parse_args(argv)
@@ -137,6 +152,25 @@ def main(argv=None) -> int:
                 f"{unit.benchmark:10s} {unit.api:7s} {val:>12s} {r.unit:14s} "
                 f"{kern:>10s} {status:6s}"
             )
+        checks = []
+        if args.variants or args.check_variants:
+            for unit in units:
+                try:
+                    checks.extend(
+                        rexec.check_unit_variants(
+                            executor, unit, preflight=not args.no_preflight
+                        )
+                    )
+                except UnitFailed:
+                    rc = 1  # baseline itself died; nothing to compare against
+                except SweepInterrupted:
+                    break
+            if checks:
+                bad = sum(c.violation for c in checks)
+                print(f"\nvariants ({len(checks)} checked, {bad} violations):")
+                print(rexec.render_checks(checks))
+                if bad and args.check_variants:
+                    rc = 1
         if executor.stats.failures:
             from ..prof.report import render_failures
 
@@ -156,6 +190,9 @@ def main(argv=None) -> int:
         # document must never masquerade as the sweep's results
         with open(args.results_json, "w") as f:
             f.write(rexec.canonical_results_json(results))
+    if args.variant_manifest and not interrupted:
+        with open(args.variant_manifest, "w") as f:
+            f.write(rexec.variant_manifest(checks))
     telemetry.finish_run(
         args, tr, "repro.benchsuite", executor=executor, cache_dir=cache,
         lifecycle=lifecycle.lifecycle_summary(

@@ -15,12 +15,20 @@ Figs. 6 and 7 toggle these via ``options["unroll_a"]``/``unroll_b``:
 removing *a* costs CUDA ~15%, while *adding* *a* to the OpenCL build
 makes CLC's allocator collapse on the 9x-unrolled body (spills), the
 paper's most dramatic compiler finding.
+
+Both pragmas are *generated*: the kernel is built bare and the rewrite
+engine's ``pragma`` rule attaches them (``fdtd_step!pragma:iz:9`` etc.),
+so the paper's hand-annotated variants and ``--variants`` sweeps share
+one mechanism.
 """
 from __future__ import annotations
+
+import hashlib
 
 import numpy as np
 
 from ...kir import KernelBuilder, Scalar, UNROLL_FULL
+from ...kir.rewrite import apply_variant
 from ..base import Benchmark, BenchResult, HostAPI, Metric
 
 __all__ = ["FDTD", "RADIUS", "COEFFS"]
@@ -32,14 +40,13 @@ TW = B + 2 * RADIUS  # shared tile width
 COEFFS = (0.50, 0.16, 0.09, 0.05)
 
 
-def _kernel(dialect, unroll_a, unroll_b, dimz_const: int):
-    """Build the FDTD kernel.
+def _kernel(dialect, dimz_const: int):
+    """Build the bare FDTD kernel (no unroll pragmas).
 
-    ``unroll_a``: factor for the z loop (None = no pragma, as the SDK's
-    OpenCL version shipped); ``unroll_b``: factor for the radius loop
-    (UNROLL_FULL in both shipped versions).  ``dimz_const`` is baked in
-    at build time (the SDK's FDTD3d compiles dimz as a macro too, which
-    is what makes ``#pragma unroll 9`` legal on the z loop).
+    The paper's point-a/point-b pragmas are attached afterwards by the
+    rewrite engine's ``pragma`` rule.  ``dimz_const`` is baked in at
+    build time (the SDK's FDTD3d compiles dimz as a macro too, which is
+    what makes ``#pragma unroll 9`` legal on the z loop).
     """
     k = KernelBuilder("fdtd_step", dialect, wg_hint=B * B)
     inp = k.buffer("inp", Scalar.F32)  # padded (dimz+2R) x (ny+2R) x (nx+2R)
@@ -75,8 +82,7 @@ def _kernel(dialect, unroll_a, unroll_b, dimz_const: int):
         for i in range(1, RADIUS + 1)
     ]
 
-    ua = None if unroll_a is None else k.unroll(unroll_a, point="a")
-    with k.for_("iz", 0, dimz, unroll=ua) as iz:
+    with k.for_("iz", 0, dimz) as iz:
         # stage the current plane's neighborhood
         k.store(tile, (ty + RADIUS) * TW + tx + RADIUS, current)
         inbase = k.let("inbase", (iz + RADIUS) * plane)
@@ -106,8 +112,7 @@ def _kernel(dialect, unroll_a, unroll_b, dimz_const: int):
             )
         k.barrier()
         acc = k.let("acc", current * COEFFS[0], Scalar.F32)
-        ub = None if unroll_b is None else k.unroll(unroll_b, point="b")
-        with k.for_("rr", 1, RADIUS + 1, unroll=ub) as rr:
+        with k.for_("rr", 1, RADIUS + 1) as rr:
             cv = k.let("cv", coef[rr])
             k.assign(
                 acc,
@@ -170,12 +175,21 @@ class FDTD(Benchmark):
         "unroll_b": UNROLL_FULL,
     }
 
+    @staticmethod
+    def _pragma_app(site: str, factor) -> str:
+        return f"pragma:{site}:{'full' if factor == UNROLL_FULL else factor}"
+
     def kernels(self, dialect, options, defines, params):
-        return [
-            _kernel(
-                dialect, options["unroll_a"], options["unroll_b"], params["dimz"]
-            )
-        ]
+        kerns = [_kernel(dialect, params["dimz"])]
+        # attach the paper's point-a / point-b pragmas as rewrite rules
+        apps = []
+        if options["unroll_a"] is not None:
+            apps.append(self._pragma_app("iz", options["unroll_a"]))
+        if options["unroll_b"] is not None:
+            apps.append(self._pragma_app("rr", options["unroll_b"]))
+        if apps:
+            kerns = apply_variant(kerns, "fdtd_step!" + "+".join(apps))
+        return kerns
 
     def sizes(self):
         return {
@@ -220,5 +234,7 @@ class FDTD(Benchmark):
             detail={
                 "unroll_a": options["unroll_a"],
                 "unroll_b": options["unroll_b"],
+                # exact output identity, for the variant differential harness
+                "out_digest": hashlib.sha256(got.tobytes()).hexdigest(),
             },
         )

@@ -230,6 +230,27 @@ class Benchmark(abc.ABC):
         self, dialect: Dialect, options: Mapping, defines: Mapping, params: Mapping
     ) -> list[KirKernel]: ...
 
+    def build_kernels(
+        self, dialect: Dialect, options: Mapping, defines: Mapping, params: Mapping
+    ) -> list[KirKernel]:
+        """Kernels after variant rewriting — the single build entry point.
+
+        Every consumer of a benchmark's kernels (host runs, fingerprints,
+        the ABT preflight) goes through here, so a ``rewrite`` option —
+        a :mod:`repro.kir.rewrite` token like ``sobel!promote:filt`` —
+        is applied uniformly and the exec-layer digest automatically
+        covers the rewritten sources.  (The key is ``rewrite`` rather
+        than ``variant`` because some benchmarks — SPMV — already use
+        ``variant`` for their own algorithmic alternatives.)
+        """
+        kerns = self.kernels(dialect, options, defines, params)
+        token = options.get("rewrite") if options else None
+        if token:
+            from ..kir.rewrite import apply_variant
+
+            kerns = apply_variant(kerns, token)
+        return kerns
+
     @abc.abstractmethod
     def sizes(self) -> dict:
         """Named problem sizes: {"small": {...}, "default": {...}}."""
@@ -263,7 +284,7 @@ class Benchmark(abc.ABC):
         params = self.sizes()[size]
         opts = self.options_for(api.dialect, options)
         defines = self.defines_for(api)
-        kerns = self.kernels(api.dialect, opts, defines, params)
+        kerns = self.build_kernels(api.dialect, opts, defines, params)
         try:
             api.build(kerns, defines)
         except (cl.CLError, CudaError) as e:

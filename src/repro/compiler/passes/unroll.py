@@ -7,27 +7,17 @@ Figs. 6–7) and feeds §IV-B.4 (FFT instruction-mix differences).
 
 Unrolled copies are alpha-renamed so the result still validates, and the
 loop variable is substituted with its per-copy value (a constant for full
-unrolls, ``var + k*step`` for partial ones).
+unrolls, ``var + k*step`` for partial ones).  The expansion mechanics
+live in :mod:`repro.kir.transform`, shared with the source-level rewrite
+rules of :mod:`repro.kir.rewrite` so the two unroll paths cannot drift.
 """
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable
 
-from ...kir.expr import BinOp, Const, Expr, Var
-from ...kir.stmt import (
-    Assign,
-    Barrier,
-    For,
-    If,
-    Kernel,
-    Let,
-    Stmt,
-    Store,
-    UNROLL_FULL,
-    While,
-)
-from ...kir.visit import map_expr
+from ...kir.stmt import Barrier, For, If, Kernel, UNROLL_FULL, While
+from ...kir.transform import const_trip as _const_trip
+from ...kir.transform import expand_full, expand_partial
 
 __all__ = ["unroll_loops", "UnrollReport"]
 
@@ -44,88 +34,6 @@ class UnrollReport:
         out = [f"unrolled loop over {v!r} ({n} copies)" for v, n in self.unrolled]
         out += [f"could not unroll loop over {v!r}: {why}" for v, why in self.skipped]
         return out
-
-
-def _subst(e: Expr, mapping: dict) -> Expr:
-    def repl(n: Expr) -> Expr:
-        if isinstance(n, Var) and n.name in mapping:
-            return mapping[n.name]
-        return n
-
-    return map_expr(e, repl)
-
-
-def _declared_names(body: Iterable[Stmt]) -> set:
-    """Names declared *within* a body (Lets and nested loop variables)."""
-    from ...kir.visit import walk_stmts
-
-    names = set()
-    for s in walk_stmts(body):
-        if isinstance(s, Let):
-            names.add(s.var.name)
-        elif isinstance(s, For):
-            names.add(s.var.name)
-    return names
-
-
-def _rename_body(body, mapping: dict, suffix: str):
-    """Copy a body substituting expressions and alpha-renaming decls.
-
-    ``mapping`` is mutated sequentially at this nesting level (a ``Let``
-    renames all *subsequent* uses of its name in this copy) and copied
-    for nested blocks so branch-local renames do not leak out.
-    """
-    out = []
-    for s in body:
-        if isinstance(s, Let):
-            nv = Var(f"{s.var.name}{suffix}", s.var.vtype)
-            out.append(Let(nv, _subst(s.value, mapping)))
-            mapping[s.var.name] = nv
-        elif isinstance(s, Assign):
-            tgt = mapping.get(s.var.name)
-            if isinstance(tgt, Const):
-                raise ValueError(
-                    f"loop variable {s.var.name!r} is assigned inside an "
-                    "unrolled loop body"
-                )
-            nv = tgt if isinstance(tgt, Var) else s.var
-            out.append(Assign(nv, _subst(s.value, mapping)))
-        elif isinstance(s, Store):
-            out.append(Store(s.buf, _subst(s.index, mapping), _subst(s.value, mapping)))
-        elif isinstance(s, Barrier):
-            out.append(s)
-        elif isinstance(s, If):
-            out.append(
-                If(
-                    _subst(s.cond, mapping),
-                    tuple(_rename_body(s.then, dict(mapping), suffix)),
-                    tuple(_rename_body(s.orelse, dict(mapping), suffix)),
-                )
-            )
-        elif isinstance(s, For):
-            nv = Var(f"{s.var.name}{suffix}", s.var.vtype)
-            inner = dict(mapping)
-            inner[s.var.name] = nv
-            out.append(
-                For(
-                    nv,
-                    _subst(s.start, mapping),
-                    _subst(s.stop, mapping),
-                    _subst(s.step, mapping),
-                    tuple(_rename_body(s.body, inner, suffix)),
-                    s.unroll,
-                )
-            )
-        elif isinstance(s, While):
-            out.append(
-                While(
-                    _subst(s.cond, mapping),
-                    tuple(_rename_body(s.body, dict(mapping), suffix)),
-                )
-            )
-        else:  # pragma: no cover - exhaustive
-            raise TypeError(f"unknown statement {s!r}")
-    return out
 
 
 #: auto-unroll budget: statements after expansion (pragmas are exempt)
@@ -149,56 +57,14 @@ def _auto_unrollable(s: For, trip: int) -> bool:
     return trip * max(body_stmts, 1) <= AUTO_UNROLL_BUDGET
 
 
-def _const_trip(s: For):
-    if (
-        isinstance(s.start, Const)
-        and isinstance(s.stop, Const)
-        and isinstance(s.step, Const)
-        and int(s.step.value) > 0
-    ):
-        lo, hi, st = int(s.start.value), int(s.stop.value), int(s.step.value)
-        if hi <= lo:
-            return 0
-        return (hi - lo + st - 1) // st
-    return None
-
-
 def _expand_full(s: For, report: UnrollReport) -> list:
-    trip = _const_trip(s)
-    lo, st = int(s.start.value), int(s.step.value)
-    out = []
-    for k in range(trip):
-        mapping = {s.var.name: Const(lo + k * st, s.var.vtype)}
-        out.extend(_rename_body(s.body, mapping, f"__u{s.var.name}{k}"))
-    report.unrolled.append((s.var.name, trip))
+    out = expand_full(s)
+    report.unrolled.append((s.var.name, _const_trip(s)))
     return out
 
 
 def _expand_partial(s: For, factor: int, report: UnrollReport) -> list:
-    """Unroll by ``factor``: main loop with ``factor`` copies + remainder."""
-    trip = _const_trip(s)
-    lo, hi, st = int(s.start.value), int(s.stop.value), int(s.step.value)
-    main_trips = (trip // factor) * factor
-    copies = []
-    for k in range(factor):
-        mapping = {
-            s.var.name: BinOp("add", s.var, Const(k * st, s.var.vtype))
-            if k
-            else s.var
-        }
-        copies.extend(_rename_body(s.body, mapping, f"__p{s.var.name}{k}"))
-    main = For(
-        s.var,
-        s.start,
-        Const(lo + main_trips * st, s.var.vtype),
-        Const(factor * st, s.var.vtype),
-        tuple(copies),
-        None,
-    )
-    out: list = [main]
-    for k in range(main_trips, trip):
-        mapping = {s.var.name: Const(lo + k * st, s.var.vtype)}
-        out.extend(_rename_body(s.body, mapping, f"__r{s.var.name}{k}"))
+    out = expand_partial(s, factor)
     report.unrolled.append((s.var.name, factor))
     return out
 

@@ -51,6 +51,14 @@ from .unit import (
     unit_digest,
     unit_fingerprint,
 )
+from .variants import (
+    VariantCheck,
+    check_unit_variants,
+    render_checks,
+    variant_manifest,
+    variants_for_unit,
+    with_variant,
+)
 
 __all__ = [
     "WorkUnit",
@@ -87,6 +95,12 @@ __all__ = [
     "use_executor",
     "run_unit",
     "run_benchmark",
+    "VariantCheck",
+    "check_unit_variants",
+    "render_checks",
+    "variant_manifest",
+    "variants_for_unit",
+    "with_variant",
 ]
 
 #: the process-wide executor every sweep-aware call site routes through;

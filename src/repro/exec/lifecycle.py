@@ -164,7 +164,7 @@ def preflight_unit(unit: WorkUnit, spec=None) -> PreflightVerdict:
     try:
         bench, dialect, params, opts, defines = unit_build(unit, spec)
         compile_fn = compile_cuda if unit.api == "cuda" else compile_opencl
-        for k in bench.kernels(dialect, opts, defines, params):
+        for k in bench.build_kernels(dialect, opts, defines, params):
             ptx = compile_fn(k, max_regs=spec.launch_reg_budget(k.wg_hint))
             # block shape: admission only depends on the thread product,
             # and every host launches with product == wg_hint

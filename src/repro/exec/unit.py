@@ -141,7 +141,7 @@ def unit_fingerprint(
     try:
         sources = [
             pretty.render(k, dialect)
-            for k in bench.kernels(dialect, opts, defines, params)
+            for k in bench.build_kernels(dialect, opts, defines, params)
         ]
     except Exception as e:  # construction can hit device limits; still keyable
         sources = [f"<kernel construction failed: {type(e).__name__}: {e}>"]

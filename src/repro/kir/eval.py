@@ -112,6 +112,9 @@ def _eval(e: Expr, env: dict, bufs: Mapping[str, np.ndarray]):
             if op == "neg":
                 return _to(-a, e.dtype)
             if op == "not":
+                if e.dtype is Scalar.PRED:
+                    # logical not — bitwise ~True is -2, which is truthy
+                    return not bool(a)
                 return _to(~int(a), e.dtype)
             if op == "abs":
                 return _to(abs(a), e.dtype)

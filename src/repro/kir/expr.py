@@ -65,9 +65,16 @@ def _result_type(op: str, a: "Expr", b: "Expr") -> Scalar:
     return a.dtype
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, eq=False)
 class Expr:
-    """Base class: every expression carries its scalar type."""
+    """Base class: every expression carries its scalar type.
+
+    ``eq=False`` throughout the hierarchy: a dataclass-generated
+    ``__eq__`` here would compare only ``dtype`` (the sole base field),
+    making any two same-typed expressions "equal" — which once silently
+    swallowed rewrites.  Expression identity is object identity; use
+    ``.key()`` for structural comparison.
+    """
 
     dtype: Scalar = dataclasses.field(init=False, default=Scalar.S32)
 

@@ -1,0 +1,61 @@
+"""Rewrite-rule kernel-variant generation over the kernel IR.
+
+The paper's CUDA-vs-OpenCL gaps trace back to hand-applied kernel
+optimizations; this package derives those optimizations mechanically
+from a small catalog of semantics-preserving rules (after Steuwer et
+al., arXiv:1502.02389), and — because every kernel here runs on the
+simulator — preservation is *tested* bit-for-bit rather than argued.
+
+Layout:
+
+- :mod:`.core` — ``Rule`` protocol, match contexts, the application
+  engine, normalization, structural keys.
+- :mod:`.rules` — the concrete catalog (unroll, pragma, tile, vec,
+  cse, promote/demote, texify/untex).
+- :mod:`.plan` — variant tokens (``kernel!rule:site:arg+...``) and the
+  ``VariantPlan`` enumerator.
+
+The differential harness asserting every variant is byte-identical to
+its baseline lives in :mod:`repro.exec.variants` — it needs the sweep
+executor, cache, and ABT preflight, which this layer must not import.
+"""
+from .core import (
+    MatchContext,
+    RewriteError,
+    Rule,
+    apply_binding,
+    find_site,
+    kernel_key,
+    normalize,
+    sites,
+    stmt_key,
+)
+from .plan import (
+    RuleApp,
+    Variant,
+    VariantPlan,
+    apply_apps,
+    apply_variant,
+    parse_variant,
+)
+from .rules import CATALOG, make_rule
+
+__all__ = [
+    "Rule",
+    "RewriteError",
+    "MatchContext",
+    "sites",
+    "find_site",
+    "apply_binding",
+    "normalize",
+    "stmt_key",
+    "kernel_key",
+    "RuleApp",
+    "Variant",
+    "VariantPlan",
+    "apply_apps",
+    "apply_variant",
+    "parse_variant",
+    "CATALOG",
+    "make_rule",
+]

@@ -1,0 +1,308 @@
+"""Rule engine over the kernel IR.
+
+A :class:`Rule` is one provably-semantics-preserving transformation
+(Steuwer et al., arXiv:1502.02389, applied to this IR): it *matches* a
+node — a statement, a buffer parameter, or the kernel itself — under
+legality conditions, producing a bindings dict, and *applies* the
+bindings to produce the replacement node.  The engine
+(:func:`apply_binding`) splices the replacement into a fresh kernel and
+re-validates, so every rewritten kernel is a well-formed kernel by
+construction; preservation itself is checked bit-for-bit by the
+differential harness rather than assumed.
+
+Sites are addressed by stable labels (a loop variable, a buffer name,
+or ``body`` for whole-kernel rules), which is what lets a rule sequence
+round-trip through the compact variant tokens of
+:mod:`repro.kir.rewrite.plan` and hence through work-unit options and
+the exec cache digest.
+"""
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..dialect import CUDA, Dialect, OPENCL
+from ..expr import BufferRef, Const, Expr, Load, Select, SpecialReg, Var
+from ..stmt import (
+    Assign,
+    Barrier,
+    For,
+    If,
+    Kernel,
+    Let,
+    ScalarParam,
+    Stmt,
+    Store,
+    UNROLL_FULL,
+    While,
+)
+from ..transform import FreshNames, const_trip
+from ..validate import validate
+from ..visit import map_stmt_exprs, map_stmts, stmt_exprs, walk_exprs, walk_stmts
+
+__all__ = [
+    "Rule",
+    "RewriteError",
+    "MatchContext",
+    "sites",
+    "find_site",
+    "apply_binding",
+    "normalize",
+    "stmt_key",
+    "kernel_key",
+]
+
+
+class RewriteError(ValueError):
+    """A rule application could not be performed legally."""
+
+
+@dataclasses.dataclass
+class MatchContext:
+    """Kernel-level facts rules consult for their legality conditions."""
+
+    kernel: Kernel
+    dialect: Dialect
+    #: buffer names the kernel stores to (never legal to promote)
+    stored: frozenset
+    #: buffer names loaded anywhere / loaded via the texture path
+    loaded: frozenset
+    tex_loaded: frozenset
+    _fresh: Optional[FreshNames] = None
+
+    @classmethod
+    def of(cls, kernel: Kernel) -> "MatchContext":
+        dialect = {"cuda": CUDA, "opencl": OPENCL}[kernel.dialect]
+        stored, loaded, tex = set(), set(), set()
+        for s in walk_stmts(kernel.body):
+            if isinstance(s, Store):
+                stored.add(s.buf.name)
+            for top in stmt_exprs(s):
+                for e in walk_exprs(top):
+                    if isinstance(e, Load):
+                        loaded.add(e.buf.name)
+                        if e.via_texture:
+                            tex.add(e.buf.name)
+        return cls(
+            kernel=kernel,
+            dialect=dialect,
+            stored=frozenset(stored),
+            loaded=frozenset(loaded),
+            tex_loaded=frozenset(tex),
+        )
+
+    def fresh(self, stem: str) -> str:
+        if self._fresh is None:
+            self._fresh = FreshNames(self.kernel)
+        return self._fresh.fresh(stem)
+
+
+class Rule:
+    """One rewrite rule: ``matches(node) -> bindings``, ``apply(bindings) -> node``.
+
+    ``kind`` declares what the rule matches — ``"stmt"`` (statement
+    sites, replacement may be a statement list), ``"buffer"`` (a
+    pointer parameter; the engine rewrites every reference to it), or
+    ``"kernel"`` (whole-kernel rewrites such as CSE).
+    """
+
+    name: str = "?"
+    kind: str = "stmt"
+    #: buffer rules: force the texture bit on rewritten loads
+    #: (None = preserve each load's existing path)
+    via_texture: Optional[bool] = None
+
+    def matches(self, node, ctx: MatchContext) -> Optional[dict]:
+        raise NotImplementedError
+
+    def apply(self, bindings: dict):
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+def _site_nodes(rule: Rule, kernel: Kernel):
+    if rule.kind == "kernel":
+        return [kernel]
+    if rule.kind == "buffer":
+        return [p for p in kernel.params if isinstance(p, BufferRef)]
+    return list(walk_stmts(kernel.body))
+
+
+def sites(rule: Rule, kernel: Kernel, ctx: Optional[MatchContext] = None) -> list:
+    """All bindings where ``rule`` legally applies, in deterministic order."""
+    ctx = ctx or MatchContext.of(kernel)
+    out = []
+    for node in _site_nodes(rule, kernel):
+        b = rule.matches(node, ctx)
+        if b is not None:
+            b.setdefault("node", node)
+            b["ctx"] = ctx
+            out.append(b)
+    return out
+
+
+def find_site(rule: Rule, kernel: Kernel, site: str) -> dict:
+    """Resolve a site label back to bindings (used by variant tokens)."""
+    for b in sites(rule, kernel):
+        if b["site"] == site:
+            return b
+    raise RewriteError(
+        f"rule {rule.describe()!r} has no site {site!r} in kernel "
+        f"{kernel.name!r}"
+    )
+
+
+def _replace_stmt(kernel: Kernel, node: Stmt, replacement) -> list:
+    hits = [0]
+
+    def fn(s):
+        if s is node:
+            hits[0] += 1
+            return replacement
+        return s
+
+    body = map_stmts(kernel.body, fn)
+    if hits[0] != 1:
+        raise RewriteError(
+            f"statement site matched {hits[0]} times in kernel {kernel.name!r}"
+        )
+    return body
+
+
+def _replace_buffer(kernel: Kernel, rule: Rule, old: BufferRef, new: BufferRef):
+    def fix_expr(e: Expr) -> Expr:
+        if isinstance(e, Load) and e.buf.name == old.name:
+            via = rule.via_texture if rule.via_texture is not None else e.via_texture
+            return Load(new, e.index, via)
+        return e
+
+    def fix_stmt(s):
+        s = map_stmt_exprs(s, fix_expr)
+        if isinstance(s, Store) and s.buf.name == old.name:
+            s = Store(new, s.index, s.value)
+        return s
+
+    body = map_stmts(kernel.body, fix_stmt)
+    params = [new if p.name == old.name else p for p in kernel.params]
+    return params, body
+
+
+def apply_binding(kernel: Kernel, rule: Rule, bindings: dict) -> Kernel:
+    """Apply one matched rule and return the re-validated kernel."""
+    params, shared = list(kernel.params), list(kernel.shared)
+    if rule.kind == "kernel":
+        new = rule.apply(bindings)
+        if not isinstance(new, Kernel):
+            raise RewriteError(f"kernel rule {rule.name!r} returned {type(new)}")
+        validate(new)
+        return new
+    if rule.kind == "buffer":
+        old = bindings["node"]
+        newbuf = rule.apply(bindings)
+        params, body = _replace_buffer(kernel, rule, old, newbuf)
+    else:
+        body = _replace_stmt(kernel, bindings["node"], rule.apply(bindings))
+    new = dataclasses.replace(kernel, params=params, body=body, shared=shared)
+    validate(new)
+    return new
+
+
+# ---------------------------------------------------------------------------
+# normalization: the canonical form rewritten kernels are kept in
+# ---------------------------------------------------------------------------
+
+
+def _norm_body(body) -> tuple:
+    out = []
+    for s in body:
+        if isinstance(s, If):
+            then = _norm_body(s.then)
+            orelse = _norm_body(s.orelse)
+            if not then and not orelse:
+                continue  # branch with no effect either way
+            out.append(If(s.cond, then, orelse))
+        elif isinstance(s, For):
+            if const_trip(s) == 0:
+                continue  # statically dead loop
+            un = s.unroll
+            if un is not None and un.factor != UNROLL_FULL and un.factor <= 1:
+                un = None  # `#pragma unroll 1` is a no-op annotation
+            out.append(For(s.var, s.start, s.stop, s.step, _norm_body(s.body), un))
+        elif isinstance(s, While):
+            out.append(While(s.cond, _norm_body(s.body)))
+        else:
+            out.append(s)
+    return tuple(out)
+
+
+def normalize(kernel: Kernel) -> Kernel:
+    """Structural canonical form: tuple bodies, dead control flow and
+    no-op unroll annotations dropped.  Idempotent by construction (the
+    property suite holds it to that), and semantics-preserving — it
+    removes only statements that could never execute an effect.
+    """
+    return dataclasses.replace(
+        kernel,
+        params=list(kernel.params),
+        body=list(_norm_body(kernel.body)),
+        shared=list(kernel.shared),
+    )
+
+
+# ---------------------------------------------------------------------------
+# structural keys (hashable identity for tests and deduplication)
+# ---------------------------------------------------------------------------
+
+
+def _buf_key(b: BufferRef):
+    return ("buf", b.name, b.elem, b.space, b.length)
+
+
+def stmt_key(s: Stmt):
+    t = type(s)
+    if t is Let:
+        return ("let", s.var.name, s.var.vtype, s.value.key())
+    if t is Assign:
+        return ("assign", s.var.name, s.value.key())
+    if t is Store:
+        return ("store", _buf_key(s.buf), s.index.key(), s.value.key())
+    if t is Barrier:
+        return ("barrier",)
+    if t is If:
+        return (
+            "if",
+            s.cond.key(),
+            tuple(stmt_key(x) for x in s.then),
+            tuple(stmt_key(x) for x in s.orelse),
+        )
+    if t is For:
+        un = None if s.unroll is None else (s.unroll.factor, s.unroll.point)
+        return (
+            "for",
+            s.var.name,
+            s.var.vtype,
+            s.start.key(),
+            s.stop.key(),
+            s.step.key(),
+            tuple(stmt_key(x) for x in s.body),
+            un,
+        )
+    if t is While:
+        return ("while", s.cond.key(), tuple(stmt_key(x) for x in s.body))
+    raise TypeError(f"no key for {s!r}")
+
+
+def kernel_key(k: Kernel):
+    params = tuple(
+        _buf_key(p) if isinstance(p, BufferRef) else ("scalar", p.name, p.dtype)
+        for p in k.params
+    )
+    return (
+        k.name,
+        k.dialect,
+        params,
+        tuple(_buf_key(b) for b in k.shared),
+        tuple(stmt_key(s) for s in k.body),
+    )

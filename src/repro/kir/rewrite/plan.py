@@ -1,0 +1,216 @@
+"""Variant plans: enumerate legal rule sequences and name them stably.
+
+A *variant* is a kernel name plus an ordered list of rule applications,
+spelled as a compact token::
+
+    sobel!promote:filt
+    fdtd!pragma:z:9
+    reduce!unroll:r:4+cse
+
+Grammar: ``<kernel> "!" <app> ("+" <app>)*`` where an app is
+``<rule> ":" <site> [":" <arg>]`` — rule from the catalog, site the
+stable label the rule matched (loop variable, buffer name, or ``body``),
+arg the rule's parameter (unroll factor, tile size, vector width).
+
+The token is the *only* thing that travels: it rides in a work unit's
+options tuple, so the exec-layer digest covers it (and the rewritten
+sources it produces) with no new machinery, and any variant can be
+reconstructed from its token alone via :func:`apply_variant`.
+"""
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Iterable, Optional, Sequence
+
+from ..stmt import Kernel
+from ..validate import KernelValidationError
+from ..visit import walk_stmts
+from .core import MatchContext, RewriteError, apply_binding, find_site, normalize, sites
+from .rules import CATALOG, make_rule
+
+__all__ = [
+    "RuleApp",
+    "Variant",
+    "parse_variant",
+    "apply_apps",
+    "apply_variant",
+    "VariantPlan",
+]
+
+_IDENT = r"[A-Za-z_][A-Za-z0-9_.]*"
+_APP_RE = re.compile(rf"^({_IDENT}):({_IDENT})(?::([A-Za-z0-9]+))?$")
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class RuleApp:
+    """One rule application: rule name, site label, optional argument."""
+
+    rule: str
+    site: str
+    arg: str = ""
+
+    @property
+    def token(self) -> str:
+        return f"{self.rule}:{self.site}:{self.arg}" if self.arg else f"{self.rule}:{self.site}"
+
+    @classmethod
+    def parse(cls, tok: str) -> "RuleApp":
+        m = _APP_RE.match(tok)
+        if not m:
+            raise RewriteError(f"malformed rule application {tok!r}")
+        rule, site, arg = m.group(1), m.group(2), m.group(3) or ""
+        if rule not in CATALOG:
+            raise RewriteError(f"unknown rewrite rule {rule!r} in {tok!r}")
+        return cls(rule, site, arg)
+
+
+@dataclasses.dataclass(frozen=True)
+class Variant:
+    """A named kernel plus the rule sequence that derives it."""
+
+    kernel: str
+    apps: tuple
+
+    @property
+    def token(self) -> str:
+        return f"{self.kernel}!" + "+".join(a.token for a in self.apps)
+
+    def describe(self) -> str:
+        return self.token
+
+
+def parse_variant(token: str) -> Variant:
+    """Inverse of :attr:`Variant.token`."""
+    kernel, sep, rest = token.partition("!")
+    if not sep or not kernel or not rest:
+        raise RewriteError(f"malformed variant token {token!r}")
+    return Variant(kernel, tuple(RuleApp.parse(t) for t in rest.split("+")))
+
+
+def apply_apps(kernel: Kernel, apps: Iterable[RuleApp]) -> Kernel:
+    """Apply a rule sequence in order, re-validating after each step."""
+    k = kernel
+    for app in apps:
+        rule = make_rule(app.rule, app.arg)
+        bindings = find_site(rule, k, app.site)
+        k = apply_binding(k, rule, bindings)
+    return normalize(k)
+
+
+def apply_variant(kernels: Sequence[Kernel], token: str) -> list:
+    """Rewrite the named kernel within a kernel list; others pass through."""
+    variant = parse_variant(token)
+    out, hit = [], False
+    for k in kernels:
+        if k.name == variant.kernel:
+            out.append(apply_apps(k, variant.apps))
+            hit = True
+        else:
+            out.append(k)
+    if not hit:
+        raise RewriteError(
+            f"variant {token!r} names kernel {variant.kernel!r}, "
+            f"not in {[k.name for k in kernels]}"
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# enumeration
+# ---------------------------------------------------------------------------
+
+#: address-space rules compose freely with one loop/expression rule —
+#: they touch disjoint parts of the kernel.
+_SPACE_RULES = ("promote", "demote", "texify", "untex")
+_LOOP_RULES = ("unroll", "pragma", "tile", "vec", "cse")
+
+
+class VariantPlan:
+    """Enumerate legal single- and two-rule variants of a kernel set.
+
+    The enumeration is deterministic (parameter order, then body
+    pre-order, then fixed factor order) so variant tokens — and hence
+    work-unit digests — are stable across runs.  ``limit`` caps the
+    total per kernel; when the cap bites, depth-1 variants win over
+    compositions.
+    """
+
+    def __init__(
+        self,
+        kernels: Sequence[Kernel],
+        unroll_factors: Sequence = (2, 4, 8),
+        tile_factors: Sequence = (2, 4),
+        vec_widths: Sequence = (2, 4),
+        full_unroll_budget: int = 128,
+        compose: bool = True,
+        limit: int = 32,
+    ):
+        self.kernels = list(kernels)
+        self.unroll_factors = list(unroll_factors)
+        self.tile_factors = list(tile_factors)
+        self.vec_widths = list(vec_widths)
+        self.full_unroll_budget = full_unroll_budget
+        self.compose = compose
+        self.limit = limit
+
+    def _rule_specs(self):
+        """(rule name, arg) pairs in canonical order."""
+        specs = [("promote", ""), ("demote", ""), ("texify", ""), ("untex", "")]
+        for f in self.unroll_factors:
+            specs.append(("unroll", str(f)))
+        specs.append(("unroll", "full"))
+        for f in self.unroll_factors:
+            specs.append(("pragma", str(f)))
+        specs.append(("pragma", "full"))
+        for t in self.tile_factors:
+            specs.append(("tile", str(t)))
+        for w in self.vec_widths:
+            specs.append(("vec", str(w)))
+        specs.append(("cse", ""))
+        return specs
+
+    def _full_unroll_ok(self, kernel: Kernel, bindings: dict) -> bool:
+        node = bindings["node"]
+        trip = bindings.get("trip")
+        if trip is None:
+            return True
+        body = sum(1 for _ in walk_stmts(node.body))
+        return trip * max(body, 1) <= self.full_unroll_budget
+
+    def _apps_for(self, kernel: Kernel) -> list:
+        ctx = MatchContext.of(kernel)
+        apps = []
+        for name, arg in self._rule_specs():
+            rule = make_rule(name, arg)
+            for b in sites(rule, kernel, ctx):
+                if name == "unroll" and arg == "full":
+                    if not self._full_unroll_ok(kernel, b):
+                        continue
+                apps.append(RuleApp(name, b["site"], arg))
+        return apps
+
+    def variants_for(self, kernel: Kernel) -> list:
+        singles = self._apps_for(kernel)
+        out = [Variant(kernel.name, (app,)) for app in singles]
+        if self.compose:
+            space = [a for a in singles if a.rule in _SPACE_RULES]
+            loops = [a for a in singles if a.rule in _LOOP_RULES]
+            for a in space:
+                for b in loops:
+                    if len(out) >= self.limit:
+                        break
+                    v = Variant(kernel.name, (a, b))
+                    try:
+                        apply_apps(kernel, v.apps)
+                    except (RewriteError, KernelValidationError):
+                        continue  # composition turned out illegal; skip it
+                    out.append(v)
+        return out[: self.limit]
+
+    def variants(self) -> list:
+        """All variants across the kernel set, in kernel order."""
+        out = []
+        for k in self.kernels:
+            out.extend(self.variants_for(k))
+        return out

@@ -1,0 +1,495 @@
+"""The concrete rewrite-rule set.
+
+Each rule encodes one hand-optimization from the paper's §V–VI as a
+mechanical transformation with an explicit legality condition:
+
+==========  ==============================================================
+``unroll``  source-level loop unrolling by 2/4/8 or ``full`` (§IV-B.2)
+``pragma``  attach ``#pragma unroll`` and let the *compiler* unroll —
+            the FDTD Fig. 6–7 experiment expressed as a rule
+``tile``    strip-mine a constant-trip loop (thread-coarsening shape)
+``vec``     widen a load/store loop: group ``w`` iterations, loads first
+``cse``     hoist repeated pure subexpressions into a single local
+``promote`` move a read-only global pointer into ``__constant`` (Fig. 8)
+``demote``  the inverse of ``promote``
+``texify``  route loads through the texture path (CUDA only, Fig. 4/5)
+``untex``   the inverse of ``texify``
+==========  ==============================================================
+
+Legality conditions err conservative: a rule that does not match simply
+generates no variant at that site.  Whatever *does* match must preserve
+semantics bit-for-bit — the differential harness holds every rule to
+that.
+"""
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..expr import BinOp, BufferRef, Const, Expr, Load, Select, Var
+from ..stmt import Assign, Barrier, For, If, Kernel, Let, Store, Unroll, UNROLL_FULL, While
+from ..transform import const_trip, expand_full, expand_partial, rename_body
+from ..types import AddrSpace
+from ..visit import map_expr, map_stmts, stmt_exprs, walk_exprs, walk_stmts
+from .core import MatchContext, RewriteError, Rule
+
+__all__ = [
+    "UnrollRule",
+    "PragmaUnrollRule",
+    "TileRule",
+    "VectorizeRule",
+    "CSERule",
+    "PromoteConstRule",
+    "DemoteConstRule",
+    "TexturePromoteRule",
+    "TextureDemoteRule",
+    "CATALOG",
+    "make_rule",
+    "REWRITE_MAX_EXPANSION",
+]
+
+#: same guard the compiler pass applies: refuse pathological expansions
+REWRITE_MAX_EXPANSION = 1024
+
+
+def _assigns_loop_var(s: For) -> bool:
+    return any(
+        isinstance(x, Assign) and x.var.name == s.var.name for x in walk_stmts(s.body)
+    )
+
+
+def _parse_factor(arg: str):
+    if arg == "full":
+        return "full"
+    try:
+        n = int(arg)
+    except ValueError:
+        raise RewriteError(f"bad unroll-style factor {arg!r}") from None
+    if n < 2:
+        raise RewriteError(f"unroll-style factor must be >= 2, got {arg!r}")
+    return n
+
+
+# ---------------------------------------------------------------------------
+# loop rules
+# ---------------------------------------------------------------------------
+
+
+class UnrollRule(Rule):
+    """Source-level unroll of a constant-trip loop.
+
+    Legal when the trip count is a compile-time constant (so the copies
+    execute uniformly — a barrier in the body stays convergent) and the
+    body never reassigns the induction variable.
+    """
+
+    name = "unroll"
+    kind = "stmt"
+
+    def __init__(self, factor):
+        self.factor = _parse_factor(str(factor))
+
+    def describe(self) -> str:
+        return f"unroll:{self.factor}"
+
+    def matches(self, node, ctx: MatchContext) -> Optional[dict]:
+        if not isinstance(node, For):
+            return None
+        trip = const_trip(node)
+        if trip is None or trip < 2 or trip > REWRITE_MAX_EXPANSION:
+            return None
+        if self.factor != "full" and self.factor >= trip:
+            return None  # that spelling is canonically `full`
+        if _assigns_loop_var(node):
+            return None
+        return {"node": node, "site": node.var.name, "trip": trip}
+
+    def apply(self, bindings: dict):
+        s = bindings["node"]
+        if self.factor == "full":
+            return expand_full(s)
+        return expand_partial(s, self.factor)
+
+
+class PragmaUnrollRule(Rule):
+    """Attach ``#pragma unroll [N]`` and leave expansion to the compiler.
+
+    Always semantics-preserving (a pragma is advice); the interesting
+    behaviour difference is *which compiler honors it* — NVOPENCC does,
+    CLC does not — which is the paper's Fig. 6–7 FDTD experiment.
+    """
+
+    name = "pragma"
+    kind = "stmt"
+
+    def __init__(self, factor):
+        self.factor = _parse_factor(str(factor))
+
+    def describe(self) -> str:
+        return f"pragma:{self.factor}"
+
+    def matches(self, node, ctx: MatchContext) -> Optional[dict]:
+        if not isinstance(node, For) or node.unroll is not None:
+            return None
+        return {"node": node, "site": node.var.name}
+
+    def apply(self, bindings: dict):
+        s = bindings["node"]
+        factor = UNROLL_FULL if self.factor == "full" else self.factor
+        return For(
+            s.var, s.start, s.stop, s.step, s.body, Unroll(factor, s.var.name)
+        )
+
+
+class TileRule(Rule):
+    """Strip-mine ``for i in [lo,hi)`` into outer×inner with tile ``t``.
+
+    The inner loop keeps the original induction variable so the body is
+    reused untouched; only legal when ``t`` divides the (constant) trip
+    count, which keeps the bounds exact and the loop barrier-uniform.
+    """
+
+    name = "tile"
+    kind = "stmt"
+
+    def __init__(self, factor):
+        f = _parse_factor(str(factor))
+        if f == "full":
+            raise RewriteError("tile factor must be a number")
+        self.t = f
+
+    def describe(self) -> str:
+        return f"tile:{self.t}"
+
+    def matches(self, node, ctx: MatchContext) -> Optional[dict]:
+        if not isinstance(node, For):
+            return None
+        trip = const_trip(node)
+        if trip is None or trip <= self.t or trip % self.t:
+            return None
+        if _assigns_loop_var(node):
+            return None
+        return {"node": node, "site": node.var.name}
+
+    def apply(self, bindings: dict):
+        s = bindings["node"]
+        ctx: MatchContext = bindings["ctx"]
+        st = int(s.step.value)
+        stride = Const(self.t * st, s.var.vtype)
+        outer = Var(ctx.fresh(f"{s.var.name}_t"), s.var.vtype)
+        inner = For(
+            s.var, outer, BinOp("add", outer, stride), s.step, s.body, s.unroll
+        )
+        return For(outer, s.start, s.stop, stride, (inner,), None)
+
+
+class VectorizeRule(Rule):
+    """Widen a straight-line load/store loop by ``w``.
+
+    Groups ``w`` consecutive iterations, emitting every copy's ``Let``
+    (the loads) before any copy's ``Store`` — the access shape a
+    ``float4`` load/store widening produces.  Legal only when the body
+    is straight-line ``Let``/``Store`` code and no buffer is both loaded
+    and stored (moving iteration ``k``'s loads ahead of iteration
+    ``k-1``'s stores must not read a location those stores wrote).
+    """
+
+    name = "vec"
+    kind = "stmt"
+
+    def __init__(self, factor):
+        f = _parse_factor(str(factor))
+        if f == "full":
+            raise RewriteError("vector width must be a number")
+        self.w = f
+
+    def describe(self) -> str:
+        return f"vec:{self.w}"
+
+    def matches(self, node, ctx: MatchContext) -> Optional[dict]:
+        if not isinstance(node, For):
+            return None
+        trip = const_trip(node)
+        if trip is None or trip < self.w or trip % self.w:
+            return None
+        stored, loaded = set(), set()
+        has_store = False
+        for s in node.body:
+            if isinstance(s, Store):
+                has_store = True
+                stored.add(s.buf.name)
+            elif not isinstance(s, Let):
+                return None  # control flow / barriers: not a streaming loop
+            for top in stmt_exprs(s):
+                for e in walk_exprs(top):
+                    if isinstance(e, Load):
+                        loaded.add(e.buf.name)
+        if not has_store or (stored & loaded):
+            return None
+        return {"node": node, "site": node.var.name}
+
+    def apply(self, bindings: dict):
+        s = bindings["node"]
+        st = int(s.step.value)
+        lets, stores = [], []
+        for k in range(self.w):
+            if k:
+                mapping = {
+                    s.var.name: BinOp("add", s.var, Const(k * st, s.var.vtype))
+                }
+            else:
+                mapping = {s.var.name: s.var}
+            for x in rename_body(s.body, mapping, f"__v{s.var.name}{k}"):
+                (stores if isinstance(x, Store) else lets).append(x)
+        return For(
+            s.var,
+            s.start,
+            s.stop,
+            Const(self.w * st, s.var.vtype),
+            tuple(lets + stores),
+            None,
+        )
+
+
+# ---------------------------------------------------------------------------
+# expression rule: common-subexpression elimination
+# ---------------------------------------------------------------------------
+
+#: statements whose direct expressions are evaluated exactly once per
+#: execution of the statement — the positions CSE may hoist from.  For
+#: bounds and While conditions are re-evaluated per iteration, so a
+#: hoist there would *change* how often the expression runs.
+_CSE_STMTS = (Let, Assign, Store, If)
+
+
+def _expr_size(e: Expr) -> int:
+    return sum(1 for _ in walk_exprs(e))
+
+
+def _cse_candidate(tops) -> Optional[Expr]:
+    """Best repeated pure subexpression across ``tops``, or None.
+
+    A candidate must be non-trivial (more than a leaf), occur at least
+    twice, and — if it contains a ``Load`` — occur at least once outside
+    any ``Select`` arm, so hoisting cannot introduce an out-of-bounds
+    access the original never made.
+    """
+    seen: dict = {}  # key -> [count, node, unconditional, order]
+    order = [0]
+
+    def scan(e: Expr, conditional: bool) -> None:
+        k = e.key()
+        rec = seen.get(k)
+        if rec is None:
+            seen[k] = rec = [0, e, False, order[0]]
+            order[0] += 1
+        rec[0] += 1
+        rec[2] = rec[2] or not conditional
+        if isinstance(e, Select):
+            scan(e.pred, conditional)
+            scan(e.a, True)
+            scan(e.b, True)
+        else:
+            from ..visit import sub_exprs
+
+            for c in sub_exprs(e):
+                scan(c, conditional)
+
+    for top in tops:
+        scan(top, False)
+
+    best = None
+    for count, node, uncond, pos in seen.values():
+        if count < 2 or _expr_size(node) < 2:
+            continue
+        if not uncond and any(isinstance(x, Load) for x in walk_exprs(node)):
+            continue
+        rank = (_expr_size(node), count, -pos)
+        if best is None or rank > best[0]:
+            best = (rank, node)
+    return None if best is None else best[1]
+
+
+class CSERule(Rule):
+    """Hoist the largest repeated subexpression of each statement.
+
+    Works statement-locally: the new ``Let`` lands immediately before
+    the statement it serves, so scoping and evaluation order are
+    untouched; every variable the expression reads is already in scope
+    there.
+    """
+
+    name = "cse"
+    kind = "kernel"
+
+    def describe(self) -> str:
+        return "cse"
+
+    def matches(self, node, ctx: MatchContext) -> Optional[dict]:
+        if not isinstance(node, Kernel):
+            return None
+        for s in walk_stmts(node.body):
+            if isinstance(s, _CSE_STMTS) and _cse_candidate(stmt_exprs(s)):
+                return {"node": node, "site": "body"}
+        return None
+
+    def apply(self, bindings: dict):
+        kernel: Kernel = bindings["node"]
+        ctx: MatchContext = bindings["ctx"]
+
+        def fn(s):
+            if not isinstance(s, _CSE_STMTS):
+                return s
+            cand = _cse_candidate(stmt_exprs(s))
+            if cand is None:
+                return s
+            ckey = cand.key()
+            v = Var(ctx.fresh("_cse"), cand.dtype)
+
+            def repl(e: Expr) -> Expr:
+                return v if e.key() == ckey else e
+
+            from ..visit import map_stmt_exprs
+
+            return [Let(v, cand), map_stmt_exprs(s, lambda e: map_expr(e, repl))]
+
+        return dataclasses.replace(
+            kernel,
+            params=list(kernel.params),
+            body=map_stmts(kernel.body, fn),
+            shared=list(kernel.shared),
+        )
+
+
+# ---------------------------------------------------------------------------
+# address-space rules
+# ---------------------------------------------------------------------------
+
+
+class _BufferRule(Rule):
+    kind = "buffer"
+
+    def matches(self, node, ctx: MatchContext) -> Optional[dict]:
+        if not isinstance(node, BufferRef):
+            return None
+        if not self._legal(node, ctx):
+            return None
+        return {"node": node, "site": node.name}
+
+    def _legal(self, buf: BufferRef, ctx: MatchContext) -> bool:
+        raise NotImplementedError
+
+
+class PromoteConstRule(_BufferRule):
+    """Global → ``__constant`` for a read-only pointer parameter.
+
+    The paper's Fig. 8 Sobel experiment: the filter mask moves into
+    constant memory.  Legal only when the kernel never stores through
+    the pointer and never reads it via the texture path (texture binds
+    global buffers only).
+    """
+
+    name = "promote"
+
+    def describe(self) -> str:
+        return "promote"
+
+    def _legal(self, buf: BufferRef, ctx: MatchContext) -> bool:
+        return (
+            buf.space is AddrSpace.GLOBAL
+            and buf.name in ctx.loaded
+            and buf.name not in ctx.stored
+            and buf.name not in ctx.tex_loaded
+        )
+
+    def apply(self, bindings: dict) -> BufferRef:
+        return dataclasses.replace(bindings["node"], space=AddrSpace.CONST)
+
+
+class DemoteConstRule(_BufferRule):
+    """``__constant`` → global; always legal (reads stay reads)."""
+
+    name = "demote"
+
+    def describe(self) -> str:
+        return "demote"
+
+    def _legal(self, buf: BufferRef, ctx: MatchContext) -> bool:
+        return buf.space is AddrSpace.CONST
+
+    def apply(self, bindings: dict) -> BufferRef:
+        return dataclasses.replace(bindings["node"], space=AddrSpace.GLOBAL)
+
+
+class TexturePromoteRule(_BufferRule):
+    """Route every load of a read-only global buffer through tex1Dfetch.
+
+    CUDA-only — the programming-model asymmetry behind Fig. 4/5.
+    """
+
+    name = "texify"
+    via_texture = True
+
+    def describe(self) -> str:
+        return "texify"
+
+    def _legal(self, buf: BufferRef, ctx: MatchContext) -> bool:
+        return (
+            ctx.dialect.allows_texture
+            and buf.space is AddrSpace.GLOBAL
+            and buf.name in ctx.loaded
+            and buf.name not in ctx.stored
+            and buf.name not in ctx.tex_loaded
+        )
+
+    def apply(self, bindings: dict) -> BufferRef:
+        return bindings["node"]
+
+
+class TextureDemoteRule(_BufferRule):
+    """Texture path → plain global loads; the inverse of ``texify``."""
+
+    name = "untex"
+    via_texture = False
+
+    def describe(self) -> str:
+        return "untex"
+
+    def _legal(self, buf: BufferRef, ctx: MatchContext) -> bool:
+        return buf.name in ctx.tex_loaded
+
+    def apply(self, bindings: dict) -> BufferRef:
+        return bindings["node"]
+
+
+#: rule name -> factory taking the (string) arg from a variant token.
+#: Factories for arg-less rules reject a non-empty arg.
+def _noarg(cls):
+    def make(arg: str):
+        if arg:
+            raise RewriteError(f"rule {cls.name!r} takes no argument, got {arg!r}")
+        return cls()
+
+    return make
+
+
+CATALOG = {
+    "unroll": UnrollRule,
+    "pragma": PragmaUnrollRule,
+    "tile": TileRule,
+    "vec": VectorizeRule,
+    "cse": _noarg(CSERule),
+    "promote": _noarg(PromoteConstRule),
+    "demote": _noarg(DemoteConstRule),
+    "texify": _noarg(TexturePromoteRule),
+    "untex": _noarg(TextureDemoteRule),
+}
+
+
+def make_rule(name: str, arg: str = "") -> Rule:
+    """Instantiate a catalog rule from its token spelling."""
+    try:
+        factory = CATALOG[name]
+    except KeyError:
+        raise RewriteError(f"unknown rewrite rule {name!r}") from None
+    return factory(arg)

@@ -1,0 +1,204 @@
+"""Reusable AST surgery: substitution, alpha-renaming, loop expansion.
+
+These helpers began life inside the compiler's unroll pass; the rewrite
+layer (:mod:`repro.kir.rewrite`) applies the *same* transformations at
+the source level, so the mechanics live here in ``kir`` where both can
+share them — a source-level unroll and a ``#pragma``-driven compiler
+unroll can never drift apart when they expand loops through one code
+path.
+
+Everything here is purely structural: no dialect knowledge, no timing,
+no legality policy (callers decide *whether* a transformation is legal;
+these functions only perform it correctly).
+"""
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .expr import BinOp, Const, Expr, Var
+from .stmt import Assign, Barrier, For, If, Kernel, Let, Stmt, Store, While
+from .visit import map_expr, stmt_exprs, walk_exprs, walk_stmts
+
+__all__ = [
+    "subst",
+    "declared_names",
+    "all_names",
+    "rename_body",
+    "const_trip",
+    "expand_full",
+    "expand_partial",
+    "FreshNames",
+]
+
+
+def subst(e: Expr, mapping: dict) -> Expr:
+    """Replace every ``Var`` whose name is in ``mapping`` by its value."""
+
+    def repl(n: Expr) -> Expr:
+        if isinstance(n, Var) and n.name in mapping:
+            return mapping[n.name]
+        return n
+
+    return map_expr(e, repl)
+
+
+def declared_names(body: Iterable[Stmt]) -> set:
+    """Names declared *within* a body (Lets and nested loop variables)."""
+    names = set()
+    for s in walk_stmts(body):
+        if isinstance(s, Let):
+            names.add(s.var.name)
+        elif isinstance(s, For):
+            names.add(s.var.name)
+    return names
+
+
+def all_names(kernel: Kernel) -> set:
+    """Every identifier a kernel mentions anywhere.
+
+    Used by fresh-name allocation: a name outside this set can be
+    introduced without shadowing or capturing anything (parameters,
+    shared buffers, declarations, and even dangling references).
+    """
+    names = {p.name for p in kernel.params} | {b.name for b in kernel.shared}
+    names |= declared_names(kernel.body)
+    for s in walk_stmts(kernel.body):
+        for top in stmt_exprs(s):
+            for e in walk_exprs(top):
+                if isinstance(e, Var):
+                    names.add(e.name)
+        if isinstance(s, (Let, Assign)):
+            names.add(s.var.name)
+    return names
+
+
+class FreshNames:
+    """Allocate identifiers that collide with nothing in ``kernel``."""
+
+    def __init__(self, kernel: Kernel):
+        self._taken = all_names(kernel)
+        self._counters: dict = {}
+
+    def fresh(self, stem: str) -> str:
+        n = self._counters.get(stem, 0)
+        while True:
+            cand = f"{stem}{n}"
+            n += 1
+            if cand not in self._taken:
+                self._counters[stem] = n
+                self._taken.add(cand)
+                return cand
+
+
+def rename_body(body, mapping: dict, suffix: str):
+    """Copy a body substituting expressions and alpha-renaming decls.
+
+    ``mapping`` is mutated sequentially at this nesting level (a ``Let``
+    renames all *subsequent* uses of its name in this copy) and copied
+    for nested blocks so branch-local renames do not leak out.
+    """
+    out = []
+    for s in body:
+        if isinstance(s, Let):
+            nv = Var(f"{s.var.name}{suffix}", s.var.vtype)
+            out.append(Let(nv, subst(s.value, mapping)))
+            mapping[s.var.name] = nv
+        elif isinstance(s, Assign):
+            tgt = mapping.get(s.var.name)
+            if isinstance(tgt, Const):
+                raise ValueError(
+                    f"loop variable {s.var.name!r} is assigned inside an "
+                    "unrolled loop body"
+                )
+            nv = tgt if isinstance(tgt, Var) else s.var
+            out.append(Assign(nv, subst(s.value, mapping)))
+        elif isinstance(s, Store):
+            out.append(Store(s.buf, subst(s.index, mapping), subst(s.value, mapping)))
+        elif isinstance(s, Barrier):
+            out.append(s)
+        elif isinstance(s, If):
+            out.append(
+                If(
+                    subst(s.cond, mapping),
+                    tuple(rename_body(s.then, dict(mapping), suffix)),
+                    tuple(rename_body(s.orelse, dict(mapping), suffix)),
+                )
+            )
+        elif isinstance(s, For):
+            nv = Var(f"{s.var.name}{suffix}", s.var.vtype)
+            inner = dict(mapping)
+            inner[s.var.name] = nv
+            out.append(
+                For(
+                    nv,
+                    subst(s.start, mapping),
+                    subst(s.stop, mapping),
+                    subst(s.step, mapping),
+                    tuple(rename_body(s.body, inner, suffix)),
+                    s.unroll,
+                )
+            )
+        elif isinstance(s, While):
+            out.append(
+                While(
+                    subst(s.cond, mapping),
+                    tuple(rename_body(s.body, dict(mapping), suffix)),
+                )
+            )
+        else:  # pragma: no cover - exhaustive
+            raise TypeError(f"unknown statement {s!r}")
+    return out
+
+
+def const_trip(s: For) -> Optional[int]:
+    """Trip count of a ``For`` with compile-time-constant bounds, else None."""
+    if (
+        isinstance(s.start, Const)
+        and isinstance(s.stop, Const)
+        and isinstance(s.step, Const)
+        and int(s.step.value) > 0
+    ):
+        lo, hi, st = int(s.start.value), int(s.stop.value), int(s.step.value)
+        if hi <= lo:
+            return 0
+        return (hi - lo + st - 1) // st
+    return None
+
+
+def expand_full(s: For) -> list:
+    """Fully expand a constant-trip loop into ``trip`` renamed copies."""
+    trip = const_trip(s)
+    lo, st = int(s.start.value), int(s.step.value)
+    out = []
+    for k in range(trip):
+        mapping = {s.var.name: Const(lo + k * st, s.var.vtype)}
+        out.extend(rename_body(s.body, mapping, f"__u{s.var.name}{k}"))
+    return out
+
+
+def expand_partial(s: For, factor: int) -> list:
+    """Unroll by ``factor``: main loop with ``factor`` copies + remainder."""
+    trip = const_trip(s)
+    lo, hi, st = int(s.start.value), int(s.stop.value), int(s.step.value)
+    main_trips = (trip // factor) * factor
+    copies = []
+    for k in range(factor):
+        mapping = {
+            s.var.name: BinOp("add", s.var, Const(k * st, s.var.vtype))
+            if k
+            else s.var
+        }
+        copies.extend(rename_body(s.body, mapping, f"__p{s.var.name}{k}"))
+    main = For(
+        s.var,
+        s.start,
+        Const(lo + main_trips * st, s.var.vtype),
+        Const(factor * st, s.var.vtype),
+        tuple(copies),
+        None,
+    )
+    out: list = [main]
+    for k in range(main_trips, trip):
+        mapping = {s.var.name: Const(lo + k * st, s.var.vtype)}
+        out.extend(rename_body(s.body, mapping, f"__r{s.var.name}{k}"))
+    return out

@@ -8,7 +8,7 @@ inside divergent control flow (which both languages declare undefined).
 from __future__ import annotations
 
 from .dialect import CUDA, OPENCL
-from .expr import BufferRef, Expr, Load, SpecialReg, Var
+from .expr import BufferRef, Const, Expr, Load, SpecialReg, Var
 from .stmt import Assign, Barrier, For, If, Kernel, Let, ScalarParam, Stmt, Store, While
 from .types import AddrSpace
 from .visit import stmt_exprs, walk_exprs
@@ -37,7 +37,23 @@ def validate(kernel: Kernel) -> None:
     }
     scope = {p.name for p in kernel.scalars()}
 
+    # address spaces are positional: parameters are pointers the host
+    # passes (GLOBAL/CONST), ``kernel.shared`` is on-chip scratch.  A
+    # hand-built (or rewritten) AST can put a space where no C source
+    # could, which the compilers would then silently mis-lower.
+    for b in kernel.buffers():
+        if b.space not in (AddrSpace.GLOBAL, AddrSpace.CONST):
+            raise _err(
+                kernel,
+                f"buffer parameter {b.name!r} must be GLOBAL or CONST, "
+                f"not {b.space.name}",
+            )
     for b in kernel.shared:
+        if b.space is not AddrSpace.SHARED:
+            raise _err(
+                kernel,
+                f"shared declaration {b.name!r} has space {b.space.name}",
+            )
         if b.length is None or b.length <= 0:
             raise _err(kernel, f"shared buffer {b.name!r} needs a static length")
 
@@ -57,7 +73,9 @@ def validate(kernel: Kernel) -> None:
                 if node.via_texture and node.buf.space is not AddrSpace.GLOBAL:
                     raise _err(kernel, "texture fetches bind global buffers only")
 
-    def check_block(body, scope: set[str], divergent: bool) -> set[str]:
+    def check_block(
+        body, scope: set[str], divergent: bool, loop_vars: frozenset = frozenset()
+    ) -> set[str]:
         scope = set(scope)
         for s in body:
             for e in stmt_exprs(s):
@@ -69,6 +87,11 @@ def validate(kernel: Kernel) -> None:
             elif isinstance(s, Assign):
                 if s.var.name not in scope:
                     raise _err(kernel, f"assignment to undeclared {s.var.name!r}")
+                if s.var.name in loop_vars:
+                    raise _err(
+                        kernel,
+                        f"assignment to loop induction variable {s.var.name!r}",
+                    )
             elif isinstance(s, Store):
                 if s.buf.name not in declared_bufs:
                     raise _err(kernel, f"store to undeclared buffer {s.buf.name!r}")
@@ -77,15 +100,23 @@ def validate(kernel: Kernel) -> None:
                 check_expr(s.index, scope)
                 check_expr(s.value, scope)
             elif isinstance(s, If):
-                check_block(s.then, scope, divergent=True)
-                check_block(s.orelse, scope, divergent=True)
+                check_block(s.then, scope, True, loop_vars)
+                check_block(s.orelse, scope, True, loop_vars)
             elif isinstance(s, For):
                 if s.var.name in scope:
                     raise _err(kernel, f"loop variable {s.var.name!r} shadows")
+                if isinstance(s.step, Const) and s.step.value <= 0:
+                    # the For semantics are `while var < stop: ...; var += step`;
+                    # a non-positive constant step can never terminate
+                    raise _err(
+                        kernel,
+                        f"loop {s.var.name!r} has non-positive constant "
+                        f"step {s.step.value}",
+                    )
                 inner = scope | {s.var.name}
-                check_block(s.body, inner, divergent)
+                check_block(s.body, inner, divergent, loop_vars | {s.var.name})
             elif isinstance(s, While):
-                check_block(s.body, scope, divergent=True)
+                check_block(s.body, scope, True, loop_vars)
             elif isinstance(s, Barrier):
                 if divergent:
                     raise _err(

@@ -13,7 +13,15 @@ from typing import Callable, Iterable, Iterator
 from .expr import BinOp, Expr, Load, Select, UnOp
 from .stmt import Assign, Barrier, For, If, Let, Stmt, Store, While
 
-__all__ = ["walk_exprs", "walk_stmts", "any_expr", "sub_exprs", "map_expr"]
+__all__ = [
+    "walk_exprs",
+    "walk_stmts",
+    "any_expr",
+    "sub_exprs",
+    "map_expr",
+    "map_stmts",
+    "map_stmt_exprs",
+]
 
 
 def sub_exprs(e: Expr) -> tuple:
@@ -121,3 +129,80 @@ def map_expr(e: Expr, fn: Callable[[Expr], Expr]) -> Expr:
     else:
         e2 = e
     return fn(e2)
+
+
+def map_stmts(body, fn):
+    """Rebuild a statement sequence bottom-up, applying ``fn`` to each node.
+
+    ``fn`` receives a statement whose nested bodies have already been
+    rewritten and returns its replacement: the same statement (no
+    change), a new statement, a list/tuple of statements (spliced in
+    place — the mechanism rules use to expand a loop into its copies),
+    or ``None`` to delete it.  Traversal is mutation-safe: the input
+    tuples are never modified, untouched subtrees are shared.
+    """
+    # change detection must be by identity, never by ==: statement
+    # dataclasses compare field-wise, and expression equality is not
+    # structural, so a rewritten subtree can compare "equal" to the
+    # original and the rebuild would be silently dropped
+    def same(new: tuple, old: tuple) -> bool:
+        return len(new) == len(old) and all(a is b for a, b in zip(new, old))
+
+    out = []
+    for s in body:
+        t = type(s)
+        if t is If:
+            then = tuple(map_stmts(s.then, fn))
+            orelse = tuple(map_stmts(s.orelse, fn))
+            if not (same(then, s.then) and same(orelse, s.orelse)):
+                s = If(s.cond, then, orelse)
+        elif t is For:
+            inner = tuple(map_stmts(s.body, fn))
+            if not same(inner, s.body):
+                s = For(s.var, s.start, s.stop, s.step, inner, s.unroll)
+        elif t is While:
+            inner = tuple(map_stmts(s.body, fn))
+            if not same(inner, s.body):
+                s = While(s.cond, inner)
+        r = fn(s)
+        if r is None:
+            continue
+        if isinstance(r, (list, tuple)):
+            out.extend(r)
+        else:
+            out.append(r)
+    return out
+
+
+def map_stmt_exprs(s: Stmt, fn: Callable[[Expr], Expr]) -> Stmt:
+    """Rebuild one statement with ``fn`` mapped over its *direct* exprs.
+
+    Nested statement bodies are left alone (compose with
+    :func:`map_stmts` for a deep rewrite); each direct expression runs
+    through :func:`map_expr`, so ``fn`` sees every node bottom-up.
+    """
+    t = type(s)
+    if t is Let:
+        v = map_expr(s.value, fn)
+        return s if v is s.value else Let(s.var, v)
+    if t is Assign:
+        v = map_expr(s.value, fn)
+        return s if v is s.value else Assign(s.var, v)
+    if t is Store:
+        i = map_expr(s.index, fn)
+        v = map_expr(s.value, fn)
+        return s if (i is s.index and v is s.value) else Store(s.buf, i, v)
+    if t is If:
+        c = map_expr(s.cond, fn)
+        return s if c is s.cond else If(c, s.then, s.orelse)
+    if t is For:
+        a = map_expr(s.start, fn)
+        b = map_expr(s.stop, fn)
+        c = map_expr(s.step, fn)
+        if a is s.start and b is s.stop and c is s.step:
+            return s
+        return For(s.var, a, b, c, s.body, s.unroll)
+    if t is While:
+        c = map_expr(s.cond, fn)
+        return s if c is s.cond else While(c, s.body)
+    return s

@@ -1,0 +1,71 @@
+"""Shared micro-kernels for the rewrite-engine tests.
+
+``build_micro`` is the canonical micro-kernel: it is deliberately shaped
+so that *every* rule in the catalog has at least one legal site —
+
+* loop ``i`` (constant trip 8, accumulator): unroll / pragma / tile
+* loop ``j`` (straight-line let/store, trip 4): vec (and unroll/tile)
+* the ``v * v`` repetition in the store: cse
+* buffer ``c`` (read-only global): promote, and texify under CUDA
+* buffer ``d`` (constant): demote
+* ``build_tex_micro``'s texture load: untex
+
+``eval_micro`` runs a (possibly rewritten) micro-kernel through the
+reference evaluator on fixed inputs and returns the output array, so
+preservation can be asserted byte-for-byte.
+"""
+import numpy as np
+import pytest
+
+from repro.kir import CUDA, KernelBuilder, OPENCL, Scalar, eval_kernel
+from repro.kir.expr import Const
+from repro.kir.types import AddrSpace
+
+
+def build_micro(dialect=CUDA):
+    k = KernelBuilder("micro", dialect, wg_hint=32)
+    a = k.buffer("a", Scalar.S32)
+    c = k.buffer("c", Scalar.S32)
+    d = k.buffer("d", Scalar.S32, AddrSpace.CONST)
+    o = k.buffer("o", Scalar.S32)
+    t = k.let("t", k.tid.x, Scalar.S32)
+    acc = k.let("acc", Const(0, Scalar.S32))
+    with k.for_("i", 0, 8) as i:
+        k.assign(acc, acc + c[(t + i) % 16] * d[i % 4])
+    with k.for_("j", 0, 4) as j:
+        v = k.let("v", a[t * 4 + j] + acc)
+        k.store(o, t * 4 + j, v * v + (v * v) % 7)
+    return k.finish()
+
+
+def build_tex_micro():
+    k = KernelBuilder("texmicro", CUDA, wg_hint=32)
+    a = k.buffer("a", Scalar.S32)
+    o = k.buffer("o", Scalar.S32)
+    t = k.let("t", k.tid.x, Scalar.S32)
+    k.store(o, t, k.texload(a, t) + 1)
+    return k.finish()
+
+
+def eval_micro(kernel, block=4):
+    a = (np.arange(16, dtype=np.int64) * 3 - 7).astype(np.int32)
+    c = (np.arange(16, dtype=np.int64) ** 2 % 23).astype(np.int32)
+    d = np.array([2, -3, 5, 7], dtype=np.int32)
+    o = np.zeros(16, dtype=np.int32)
+    eval_kernel(kernel, 1, block, {"a": a, "c": c, "d": d, "o": o})
+    return o
+
+
+@pytest.fixture
+def micro():
+    return build_micro(CUDA)
+
+
+@pytest.fixture
+def micro_cl():
+    return build_micro(OPENCL)
+
+
+@pytest.fixture
+def tex_micro():
+    return build_tex_micro()

@@ -1,0 +1,14 @@
+// micro!cse:body
+__global__ void micro(int* a, int* c, __constant__ int* d, int* o)
+{
+    int t = threadIdx.x;
+    int acc = 0;
+    for (int i = 0; i < 8; i += 1) {
+        acc = (acc + (c[((t + i) % 16)] * d[(i % 4)]));
+    }
+    for (int j = 0; j < 4; j += 1) {
+        int v = (a[((t * 4) + j)] + acc);
+        int _cse0 = (v * v);
+        o[((t * 4) + j)] = (_cse0 + (_cse0 % 7));
+    }
+}

@@ -1,0 +1,15 @@
+// micro!tile:i:4
+__global__ void micro(int* a, int* c, __constant__ int* d, int* o)
+{
+    int t = threadIdx.x;
+    int acc = 0;
+    for (int i_t0 = 0; i_t0 < 8; i_t0 += 4) {
+        for (int i = i_t0; i < (i_t0 + 4); i += 1) {
+            acc = (acc + (c[((t + i) % 16)] * d[(i % 4)]));
+        }
+    }
+    for (int j = 0; j < 4; j += 1) {
+        int v = (a[((t * 4) + j)] + acc);
+        o[((t * 4) + j)] = ((v * v) + ((v * v) % 7));
+    }
+}

@@ -1,0 +1,17 @@
+// micro!unroll:j:full
+__global__ void micro(int* a, int* c, __constant__ int* d, int* o)
+{
+    int t = threadIdx.x;
+    int acc = 0;
+    for (int i = 0; i < 8; i += 1) {
+        acc = (acc + (c[((t + i) % 16)] * d[(i % 4)]));
+    }
+    int v__uj0 = (a[((t * 4) + 0)] + acc);
+    o[((t * 4) + 0)] = ((v__uj0 * v__uj0) + ((v__uj0 * v__uj0) % 7));
+    int v__uj1 = (a[((t * 4) + 1)] + acc);
+    o[((t * 4) + 1)] = ((v__uj1 * v__uj1) + ((v__uj1 * v__uj1) % 7));
+    int v__uj2 = (a[((t * 4) + 2)] + acc);
+    o[((t * 4) + 2)] = ((v__uj2 * v__uj2) + ((v__uj2 * v__uj2) % 7));
+    int v__uj3 = (a[((t * 4) + 3)] + acc);
+    o[((t * 4) + 3)] = ((v__uj3 * v__uj3) + ((v__uj3 * v__uj3) % 7));
+}

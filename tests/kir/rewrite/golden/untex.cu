@@ -1,0 +1,6 @@
+// texmicro!untex:a
+__global__ void texmicro(int* a, int* o)
+{
+    int t = threadIdx.x;
+    o[t] = (a[t] + 1);
+}

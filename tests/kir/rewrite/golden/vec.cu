@@ -1,0 +1,15 @@
+// micro!vec:j:2
+__global__ void micro(int* a, int* c, __constant__ int* d, int* o)
+{
+    int t = threadIdx.x;
+    int acc = 0;
+    for (int i = 0; i < 8; i += 1) {
+        acc = (acc + (c[((t + i) % 16)] * d[(i % 4)]));
+    }
+    for (int j = 0; j < 4; j += 2) {
+        int v__vj0 = (a[((t * 4) + j)] + acc);
+        int v__vj1 = (a[((t * 4) + (j + 1))] + acc);
+        o[((t * 4) + j)] = ((v__vj0 * v__vj0) + ((v__vj0 * v__vj0) % 7));
+        o[((t * 4) + (j + 1))] = ((v__vj1 * v__vj1) + ((v__vj1 * v__vj1) % 7));
+    }
+}

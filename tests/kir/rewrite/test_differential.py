@@ -1,0 +1,46 @@
+"""The acceptance matrix: every planned variant of the two ported
+benchmarks is byte-identical to its baseline on GTX480, GTX280, and
+Cell/BE.
+
+Identity is judged over the canonical result payload (the same
+wall-clock-free document ``canonical_results_json`` builds): correctness
+verdict, failure tag, and the sha256 of the output buffer.  Variants the
+ABT preflight rules out on a device are reported inadmissible, not
+compared — a variant may exceed a device limit, it just must never
+compute different bytes.
+"""
+import json
+
+import pytest
+
+from repro import exec as rexec
+from repro.arch.specs import ALL_DEVICES
+
+DEVICES = ["GTX480", "GTX280", "Cell/BE"]
+BENCHMARKS = ["Sobel", "FDTD"]
+
+
+@pytest.mark.parametrize("device", DEVICES)
+@pytest.mark.parametrize("name", BENCHMARKS)
+def test_all_variants_byte_identical_to_baseline(sweep_executor, name, device):
+    spec = ALL_DEVICES[device]
+    apis = ["cuda", "opencl"] if spec.supports_cuda() else ["opencl"]
+    for api in apis:
+        unit = rexec.make_unit(name, api, spec, "small")
+        checks = rexec.check_unit_variants(sweep_executor, unit)
+        assert checks, f"plan generated no variants for {name}/{api}@{device}"
+        ran = [c for c in checks if c.status in ("preserved", "different")]
+        assert ran, f"every variant of {name}/{api}@{device} was gated out"
+        bad = [c for c in checks if c.violation]
+        assert not bad, "semantics violations:\n" + rexec.render_checks(bad)
+
+
+def test_variant_manifest_round_trips(sweep_executor):
+    unit = rexec.make_unit("Sobel", "cuda", ALL_DEVICES["GTX480"], "small")
+    checks = rexec.check_unit_variants(sweep_executor, unit)
+    doc = json.loads(rexec.variant_manifest(checks))
+    assert doc["schema"] == 1
+    assert doc["total"] == len(checks)
+    assert doc["violations"] == 0
+    tokens = [r["variant"] for r in doc["checks"]]
+    assert tokens == sorted(tokens)

@@ -1,0 +1,63 @@
+"""Golden files: the pretty-printed output of each rule, pinned.
+
+One file per catalog rule, applied at a canonical site of the
+micro-kernel (``untex`` uses the texture micro-kernel).  A golden diff
+is a *deliberate* change to what a rule emits: regenerate with
+
+    REPRO_REGOLD=1 python -m pytest tests/kir/rewrite/test_golden.py
+
+and review the diff like any other source change.
+"""
+import os
+import pathlib
+
+import pytest
+
+from repro.kir import render
+from repro.kir.rewrite import apply_apps, parse_variant
+
+from .conftest import build_micro, build_tex_micro
+
+GOLDEN = pathlib.Path(__file__).parent / "golden"
+
+#: (golden file stem, variant token); sites are canonical micro sites
+CASES = [
+    ("unroll_partial", "micro!unroll:i:2"),
+    ("unroll_full", "micro!unroll:j:full"),
+    ("pragma", "micro!pragma:i:4"),
+    ("tile", "micro!tile:i:4"),
+    ("vec", "micro!vec:j:2"),
+    ("cse", "micro!cse:body"),
+    ("promote", "micro!promote:c"),
+    ("demote", "micro!demote:d"),
+    ("texify", "micro!texify:c"),
+    ("untex", "texmicro!untex:a"),
+]
+
+
+def _render_case(token: str) -> str:
+    v = parse_variant(token)
+    base = build_tex_micro() if v.kernel == "texmicro" else build_micro()
+    rewritten = apply_apps(base, v.apps)
+    return f"// {token}\n{render(rewritten)}"
+
+
+@pytest.mark.parametrize("stem,token", CASES, ids=[c[0] for c in CASES])
+def test_rule_output_matches_golden(stem, token):
+    got = _render_case(token)
+    path = GOLDEN / f"{stem}.cu"
+    if os.environ.get("REPRO_REGOLD"):
+        GOLDEN.mkdir(exist_ok=True)
+        path.write_text(got)
+    assert path.exists(), f"golden file missing; regenerate with REPRO_REGOLD=1"
+    assert got == path.read_text(), (
+        f"pretty-printed output of {token} changed; if intended, "
+        "regenerate with REPRO_REGOLD=1 and review the diff"
+    )
+
+
+def test_golden_set_covers_whole_catalog():
+    from repro.kir.rewrite import CATALOG
+
+    pinned = {parse_variant(token).apps[0].rule for _, token in CASES}
+    assert pinned == set(CATALOG)

@@ -1,0 +1,132 @@
+"""Variant tokens and the plan enumerator."""
+import pytest
+
+from repro.kir import CUDA, KernelBuilder, Scalar
+from repro.kir.rewrite import (
+    RewriteError,
+    RuleApp,
+    Variant,
+    VariantPlan,
+    apply_apps,
+    apply_variant,
+    kernel_key,
+    normalize,
+    parse_variant,
+)
+
+from .conftest import build_micro
+
+
+# ---------------------------------------------------------------------------
+# token grammar
+# ---------------------------------------------------------------------------
+
+
+def test_ruleapp_token_round_trip():
+    for app in [RuleApp("unroll", "i", "4"), RuleApp("promote", "filt")]:
+        assert RuleApp.parse(app.token) == app
+
+
+def test_variant_token_round_trip():
+    v = Variant("micro", (RuleApp("promote", "c"), RuleApp("unroll", "i", "full")))
+    assert v.token == "micro!promote:c+unroll:i:full"
+    assert parse_variant(v.token) == v
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "micro",  # no rule list
+        "!promote:c",  # no kernel
+        "micro!",  # empty rule list
+        "micro!promote",  # app without a site
+        "micro!frobnicate:c",  # unknown rule
+        "micro!unroll:i:4:9",  # too many fields
+        "micro!un roll:i",  # bad characters
+    ],
+)
+def test_malformed_tokens_rejected(bad):
+    with pytest.raises(RewriteError):
+        parse_variant(bad)
+
+
+# ---------------------------------------------------------------------------
+# apply_variant over kernel lists
+# ---------------------------------------------------------------------------
+
+
+def test_apply_variant_rewrites_named_kernel_only(micro, tex_micro):
+    out = apply_variant([micro, tex_micro], "micro!promote:c")
+    assert out[1] is tex_micro  # untouched, not copied
+    assert kernel_key(out[0]) != kernel_key(micro)
+
+
+def test_apply_variant_unknown_kernel_raises(micro):
+    with pytest.raises(RewriteError, match="names kernel"):
+        apply_variant([micro], "ghost!promote:c")
+
+
+# ---------------------------------------------------------------------------
+# enumeration
+# ---------------------------------------------------------------------------
+
+
+def test_plan_is_deterministic(micro):
+    tokens = lambda: [v.token for v in VariantPlan([build_micro(CUDA)]).variants()]
+    first = tokens()
+    assert first == tokens()
+    assert len(first) == len(set(first)), "duplicate variant tokens"
+
+
+def test_every_planned_variant_is_appliable(micro):
+    for v in VariantPlan([micro]).variants():
+        out = apply_variant([micro], v.token)
+        # normalization is already applied and idempotent
+        assert kernel_key(out[0]) == kernel_key(normalize(out[0]))
+
+
+def test_depth_one_variants_win_under_limit(micro):
+    capped = VariantPlan([micro], limit=5).variants()
+    assert len(capped) == 5
+    assert all(len(v.apps) == 1 for v in capped)
+
+
+def test_compose_off_yields_singles_only(micro):
+    for v in VariantPlan([micro], compose=False).variants():
+        assert len(v.apps) == 1
+
+
+def test_compositions_pair_space_with_loop_rules(micro):
+    plan = VariantPlan([micro], limit=256)
+    composed = [v for v in plan.variants() if len(v.apps) == 2]
+    assert composed, "no compositions generated"
+    from repro.kir.rewrite.plan import _LOOP_RULES, _SPACE_RULES
+
+    for v in composed:
+        assert v.apps[0].rule in _SPACE_RULES and v.apps[1].rule in _LOOP_RULES
+        apply_apps(micro, v.apps)  # still legal
+
+
+def test_full_unroll_budget_gates_expansion():
+    def loopy():
+        k = KernelBuilder("loopy", CUDA)
+        o = k.buffer("o", Scalar.S32)
+        with k.for_("i", 0, 64) as i:
+            a = k.let("a", i + 1)
+            b = k.let("b", a + a)
+            k.store(o, i, b)
+        return k.finish()
+
+    tokens = lambda budget: [
+        v.token
+        for v in VariantPlan([loopy()], full_unroll_budget=budget).variants()
+    ]
+    assert "loopy!unroll:i:full" not in tokens(128)  # 64 iters x 3 stmts = 192
+    assert "loopy!unroll:i:full" in tokens(192)
+
+
+def test_plan_covers_kernel_set_in_order(micro, tex_micro):
+    variants = VariantPlan([micro, tex_micro]).variants()
+    names = [v.kernel for v in variants]
+    assert names.index("micro") < names.index("texmicro")
+    assert any(v.token == "texmicro!untex:a" for v in variants)

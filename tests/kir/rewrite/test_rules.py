@@ -1,0 +1,301 @@
+"""Per-rule unit tests: legality conditions and application shapes."""
+import numpy as np
+import pytest
+
+from repro.kir import CUDA, KernelBuilder, OPENCL, Scalar
+from repro.kir.expr import BinOp, Const, Load, Select, Var
+from repro.kir.rewrite import (
+    MatchContext,
+    RewriteError,
+    VariantPlan,
+    apply_binding,
+    find_site,
+    make_rule,
+    sites,
+)
+from repro.kir.rewrite.rules import (
+    CSERule,
+    PragmaUnrollRule,
+    REWRITE_MAX_EXPANSION,
+    TileRule,
+    UnrollRule,
+    VectorizeRule,
+)
+from repro.kir.stmt import Assign, For, If, Kernel, Let, Store, UNROLL_FULL
+from repro.kir.types import AddrSpace
+from repro.kir.visit import walk_exprs, walk_stmts
+from repro.kir.validate import validate
+
+from .conftest import eval_micro
+
+
+def _apply(kernel, rule_name, site, arg=""):
+    rule = make_rule(rule_name, arg)
+    return apply_binding(kernel, rule, find_site(rule, kernel, site))
+
+
+# ---------------------------------------------------------------------------
+# factor parsing / catalog
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("bad", ["0", "1", "-2", "x", "2.5", ""])
+def test_unroll_factor_parse_rejects(bad):
+    with pytest.raises(RewriteError):
+        make_rule("unroll", bad)
+
+
+@pytest.mark.parametrize("name", ["tile", "vec"])
+def test_tile_and_vec_reject_full(name):
+    with pytest.raises(RewriteError, match="number"):
+        make_rule(name, "full")
+
+
+def test_noarg_rules_reject_arguments():
+    with pytest.raises(RewriteError, match="takes no argument"):
+        make_rule("promote", "4")
+
+
+def test_unknown_rule_rejected():
+    with pytest.raises(RewriteError, match="unknown"):
+        make_rule("frobnicate")
+
+
+# ---------------------------------------------------------------------------
+# unroll
+# ---------------------------------------------------------------------------
+
+
+def test_unroll_sites_on_micro(micro):
+    assert [b["site"] for b in sites(UnrollRule(2), micro)] == ["i", "j"]
+    # factor >= trip is canonically spelled `full`: 8 matches neither loop
+    assert sites(UnrollRule(8), micro) == []
+    assert [b["site"] for b in sites(UnrollRule("full"), micro)] == ["i", "j"]
+
+
+def test_unroll_full_removes_loop(micro):
+    k = _apply(micro, "unroll", "j", "full")
+    loops = [s for s in walk_stmts(k.body) if isinstance(s, For)]
+    assert [f.var.name for f in loops] == ["i"]
+
+
+def test_unroll_partial_keeps_loop_with_wider_step(micro):
+    k = _apply(micro, "unroll", "i", "4")
+    loop = next(s for s in walk_stmts(k.body) if isinstance(s, For) and s.var.name == "i")
+    assert loop.step.value == 4
+    assert len(loop.body) == 4  # four renamed copies of the one-statement body
+
+
+def test_unroll_refuses_loop_that_reassigns_its_var():
+    i = Var("i", Scalar.S32)
+    loop = For(
+        i,
+        Const(0, Scalar.S32),
+        Const(4, Scalar.S32),
+        Const(1, Scalar.S32),
+        (Assign(i, BinOp("add", i, Const(1, Scalar.S32))),),
+    )
+    k = Kernel("k", [], [loop], dialect="cuda")
+    assert UnrollRule(2).matches(loop, MatchContext.of(k)) is None
+
+
+def test_unroll_refuses_pathological_trip():
+    k = KernelBuilder("big", CUDA)
+    o = k.buffer("o", Scalar.S32)
+    with k.for_("i", 0, REWRITE_MAX_EXPANSION + 1) as i:
+        k.store(o, i, i)
+    kern = k.finish()
+    assert sites(UnrollRule(2), kern) == []
+
+
+# ---------------------------------------------------------------------------
+# pragma
+# ---------------------------------------------------------------------------
+
+
+def test_pragma_attaches_annotation_once(micro):
+    k = _apply(micro, "pragma", "i", "4")
+    loop = next(s for s in walk_stmts(k.body) if isinstance(s, For) and s.var.name == "i")
+    assert loop.unroll.factor == 4 and loop.unroll.point == "i"
+    # an annotated loop is no longer a pragma site
+    assert [b["site"] for b in sites(PragmaUnrollRule(2), k)] == ["j"]
+
+
+def test_pragma_full_spells_unroll_full(micro):
+    k = _apply(micro, "pragma", "j", "full")
+    loop = next(s for s in walk_stmts(k.body) if isinstance(s, For) and s.var.name == "j")
+    assert loop.unroll.factor == UNROLL_FULL
+
+
+# ---------------------------------------------------------------------------
+# tile
+# ---------------------------------------------------------------------------
+
+
+def test_tile_strip_mines_keeping_inner_var(micro):
+    k = _apply(micro, "tile", "i", "4")
+    outer = next(
+        s for s in walk_stmts(k.body) if isinstance(s, For) and s.var.name != "i"
+    )
+    assert outer.var.name.startswith("i_t")
+    assert outer.step.value == 4
+    (inner,) = outer.body
+    assert isinstance(inner, For) and inner.var.name == "i"
+    assert inner.start is outer.var  # inner runs [outer, outer + 4)
+
+
+def test_tile_requires_dividing_factor(micro):
+    # loop j has trip 4: tile 4 would leave an empty outer loop, tile 3
+    # does not divide — neither is a site
+    assert [b["site"] for b in sites(TileRule(4), micro)] == ["i"]
+    assert sites(TileRule(3), micro) == []
+
+
+# ---------------------------------------------------------------------------
+# vec
+# ---------------------------------------------------------------------------
+
+
+def test_vec_matches_only_streaming_loop(micro):
+    # loop i has an Assign in the body; only j is a load/store stream
+    assert [b["site"] for b in sites(VectorizeRule(2), micro)] == ["j"]
+
+
+def test_vec_emits_all_loads_before_stores(micro):
+    k = _apply(micro, "vec", "j", "2")
+    loop = next(s for s in walk_stmts(k.body) if isinstance(s, For) and s.var.name == "j")
+    assert loop.step.value == 2
+    kinds = [type(s) for s in loop.body]
+    assert kinds == [Let, Let, Store, Store]
+
+
+def test_vec_refuses_loop_reading_its_own_output():
+    k = KernelBuilder("rw", CUDA)
+    o = k.buffer("o", Scalar.S32)
+    with k.for_("j", 0, 4) as j:
+        v = k.let("v", o[j])
+        k.store(o, j + 4, v)
+    assert sites(VectorizeRule(2), k.finish()) == []
+
+
+def test_vec_refuses_control_flow_in_body():
+    k = KernelBuilder("cf", CUDA)
+    a = k.buffer("a", Scalar.S32)
+    o = k.buffer("o", Scalar.S32)
+    with k.for_("j", 0, 4) as j:
+        with k.if_(j < 2):
+            k.store(o, j, a[j])
+    assert sites(VectorizeRule(2), k.finish()) == []
+
+
+# ---------------------------------------------------------------------------
+# cse
+# ---------------------------------------------------------------------------
+
+
+def test_cse_hoists_repeated_subexpression(micro):
+    k = _apply(micro, "cse", "body")
+    hoisted = [
+        s
+        for s in walk_stmts(k.body)
+        if isinstance(s, Let) and s.var.name.startswith("_cse")
+    ]
+    assert hoisted, "no _cse let emitted"
+    # the hoisted expression is the repeated v * v
+    assert hoisted[0].value.key() == BinOp(
+        "mul", Var("v", Scalar.S32), Var("v", Scalar.S32)
+    ).key()
+
+
+def test_cse_skips_load_only_reachable_through_select():
+    # c[t] * 2 repeats, but only inside Select arms: hoisting would
+    # evaluate a load the original program may never perform
+    k = KernelBuilder("sel", CUDA)
+    c = k.buffer("c", Scalar.S32)
+    o = k.buffer("o", Scalar.S32)
+    t = k.let("t", k.tid.x, Scalar.S32)
+    guarded = c[t] * 2
+    k.store(o, t, Select(t < 1, guarded, BinOp("add", guarded, Const(1, Scalar.S32))))
+    assert sites(CSERule(), k.finish()) == []
+
+
+def test_cse_does_not_touch_loop_bounds():
+    # stop is re-evaluated per iteration: no CSE site may come from it
+    k = KernelBuilder("bounds", CUDA)
+    o = k.buffer("o", Scalar.S32)
+    n = k.scalar("n", Scalar.S32)
+    with k.for_("i", 0, (n * 2) + (n * 2)) as i:
+        pass
+    k.store(o, 0, Const(0, Scalar.S32))
+    assert sites(CSERule(), k.finish()) == []
+
+
+# ---------------------------------------------------------------------------
+# address-space rules
+# ---------------------------------------------------------------------------
+
+
+def test_space_rule_sites(micro, micro_cl, tex_micro):
+    tokens = lambda name, k: [b["site"] for b in sites(make_rule(name), k)]
+    assert tokens("promote", micro) == ["a", "c"]  # o is stored: not a site
+    assert tokens("demote", micro) == ["d"]
+    assert tokens("texify", micro) == ["a", "c"]
+    assert tokens("texify", micro_cl) == []  # CUDA-only path
+    assert tokens("untex", micro) == []
+    assert tokens("untex", tex_micro) == ["a"]
+
+
+def test_promote_moves_buffer_and_loads_to_const(micro):
+    k = _apply(micro, "promote", "c")
+    buf = next(p for p in k.params if p.name == "c")
+    assert buf.space is AddrSpace.CONST
+    for s in walk_stmts(k.body):
+        for e in walk_exprs(s.value) if isinstance(s, (Let, Assign)) else ():
+            if isinstance(e, Load) and e.buf.name == "c":
+                assert e.buf.space is AddrSpace.CONST
+    validate(k)
+
+
+def test_texify_flips_load_path_not_space(micro):
+    k = _apply(micro, "texify", "c")
+    assert next(p for p in k.params if p.name == "c").space is AddrSpace.GLOBAL
+    loads = [
+        e
+        for s in walk_stmts(k.body)
+        if isinstance(s, (Let, Assign))
+        for e in walk_exprs(s.value)
+        if isinstance(e, Load) and e.buf.name == "c"
+    ]
+    assert loads and all(e.via_texture for e in loads)
+
+
+def test_untex_inverts_texify(tex_micro):
+    from repro.kir.rewrite import kernel_key
+
+    k = _apply(_apply(tex_micro, "untex", "a"), "texify", "a")
+    assert kernel_key(k) == kernel_key(tex_micro)
+
+
+def test_find_site_unknown_site_raises(micro):
+    with pytest.raises(RewriteError, match="no site"):
+        find_site(make_rule("promote"), micro, "nope")
+
+
+# ---------------------------------------------------------------------------
+# the engine's whole claim, in miniature: every enumerated single-rule
+# application preserves the reference-evaluator output byte-for-byte
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("dialect_name", ["cuda", "opencl"])
+def test_every_enumerated_app_preserves_eval(dialect_name, micro, micro_cl):
+    from repro.kir.rewrite import apply_apps
+
+    base = micro if dialect_name == "cuda" else micro_cl
+    baseline = eval_micro(base)
+    plan = VariantPlan([base], limit=256)
+    apps = plan._apps_for(base)
+    assert len(apps) >= 10  # the micro-kernel is shaped to exercise the catalog
+    for app in apps:
+        got = eval_micro(apply_apps(base, [app]))
+        np.testing.assert_array_equal(got, baseline, err_msg=app.token)

@@ -2,6 +2,7 @@ import numpy as np
 import pytest
 
 from repro.kir import CUDA, KernelBuilder, OPENCL, Scalar, eval_kernel
+from repro.kir.expr import Const, Select, UnOp
 
 
 def test_vecadd():
@@ -117,3 +118,15 @@ def test_math_functions_match_numpy():
     O = np.zeros(8, dtype=np.float32)
     eval_kernel(kern, 1, 8, {"x": X, "o": O})
     assert np.allclose(O, np.sqrt(X) + np.sin(X) * np.cos(X), rtol=1e-5)
+
+
+def test_unop_not_on_pred_is_logical():
+    # regression: ~int(True) is -2, which is truthy — `not` on a PRED
+    # must be a logical negation
+    k = KernelBuilder("lnot", CUDA)
+    o = k.buffer("o", Scalar.S32)
+    t = k.let("t", k.tid.x, Scalar.S32)
+    k.store(o, t, Select(UnOp("not", t.eq(0)), Const(7, Scalar.S32), Const(3, Scalar.S32)))
+    out = np.zeros(2, dtype=np.int32)
+    eval_kernel(k.finish(), 1, 2, {"o": out})
+    assert list(out) == [3, 7]

@@ -136,3 +136,14 @@ class TestNodes:
     def test_as_expr_bool(self):
         c = as_expr(True)
         assert c.dtype is Scalar.PRED and c.value is True
+
+
+def test_expr_equality_is_identity_not_dtype():
+    # regression: a dataclass-generated __eq__ on the Expr base compared
+    # only dtype, making any two same-typed expressions "equal" — which
+    # let map_stmts drop rewrites inside nested bodies
+    assert Const(1, Scalar.S32) != Var("x", Scalar.S32)
+    e = BinOp("add", Var("x", Scalar.S32), Const(1, Scalar.S32))
+    twin = BinOp("add", Var("x", Scalar.S32), Const(1, Scalar.S32))
+    assert e != twin  # identity semantics
+    assert e.key() == twin.key()  # structural comparison goes via key()

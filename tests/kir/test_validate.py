@@ -2,7 +2,7 @@ import pytest
 
 from repro.kir import CUDA, KernelBuilder, KernelValidationError, OPENCL, Scalar
 from repro.kir.expr import BufferRef, Const, Load, Var
-from repro.kir.stmt import Assign, Barrier, If, Kernel, Let, Store, While
+from repro.kir.stmt import Assign, Barrier, For, If, Kernel, Let, Store, While
 from repro.kir.types import AddrSpace
 from repro.kir.validate import validate
 
@@ -96,3 +96,32 @@ def test_loop_variable_shadowing_rejected():
     with pytest.raises(ValueError, match="duplicate"):
         with k.for_("x", 0, 4) as i:
             pass
+
+
+def test_shared_space_param_rejected():
+    # parameters are host-passed pointers; a SHARED space there would
+    # silently mis-lower (found round-tripping rewritten ASTs)
+    sh = BufferRef("sh", Scalar.S32, AddrSpace.SHARED, length=8)
+    with pytest.raises(KernelValidationError, match="GLOBAL or CONST"):
+        validate(_kernel([], [sh]))
+
+
+def test_shared_decl_with_wrong_space_rejected():
+    g = BufferRef("scratch", Scalar.S32, AddrSpace.GLOBAL, length=8)
+    with pytest.raises(KernelValidationError, match="has space GLOBAL"):
+        validate(_kernel([], [], shared=[g]))
+
+
+def test_nonpositive_const_step_rejected():
+    i = Var("i", Scalar.S32)
+    loop = For(i, Const(0, Scalar.S32), Const(4, Scalar.S32), Const(0, Scalar.S32), ())
+    with pytest.raises(KernelValidationError, match="non-positive"):
+        validate(_kernel([loop]))
+
+
+def test_assignment_to_loop_variable_rejected():
+    i = Var("i", Scalar.S32)
+    body = (Assign(i, Const(0, Scalar.S32)),)
+    loop = For(i, Const(0, Scalar.S32), Const(4, Scalar.S32), Const(1, Scalar.S32), body)
+    with pytest.raises(KernelValidationError, match="induction"):
+        validate(_kernel([loop]))

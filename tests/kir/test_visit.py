@@ -1,0 +1,205 @@
+"""Traversal and transform helpers in :mod:`repro.kir.visit`.
+
+The transform paths (``map_expr``/``map_stmts``/``map_stmt_exprs``)
+carry the rewrite engine; the identity-vs-equality regression at the
+bottom pins the subtle bug class they must never regress into.
+"""
+from repro.kir.expr import BinOp, Const, Load, BufferRef, Select, SpecialReg, SReg, UnOp, Var
+from repro.kir.stmt import Assign, Barrier, For, If, Let, Store, While
+from repro.kir.types import Scalar
+from repro.kir.visit import (
+    any_expr,
+    map_expr,
+    map_stmt_exprs,
+    map_stmts,
+    stmt_exprs,
+    sub_exprs,
+    walk_exprs,
+    walk_stmts,
+)
+
+S32 = Scalar.S32
+
+
+def _c(v):
+    return Const(v, S32)
+
+
+def _v(name):
+    return Var(name, S32)
+
+
+BUF = BufferRef("b", S32)
+
+
+# ---------------------------------------------------------------------------
+# read-only walkers
+# ---------------------------------------------------------------------------
+
+
+def test_sub_exprs_per_node_type():
+    b = BinOp("add", _c(1), _c(2))
+    assert sub_exprs(b) == (b.a, b.b)
+    u = UnOp("neg", _c(1))
+    assert sub_exprs(u) == (u.a,)
+    s = Select(_c(1) < _c(2), _c(3), _c(4))
+    assert sub_exprs(s) == (s.pred, s.a, s.b)
+    ld = Load(BUF, _c(0))
+    assert sub_exprs(ld) == (ld.index,)
+    assert sub_exprs(_c(5)) == ()
+
+
+def test_walk_exprs_is_preorder_and_complete():
+    e = BinOp("mul", BinOp("add", _v("x"), _c(1)), UnOp("neg", Load(BUF, _v("i"))))
+    kinds = [type(n).__name__ for n in walk_exprs(e)]
+    assert kinds == ["BinOp", "BinOp", "Var", "Const", "UnOp", "Load", "Var"]
+
+
+def test_walk_stmts_descends_all_bodies():
+    inner = Store(BUF, _c(0), _c(1))
+    body = [
+        If(_c(1) < _c(2), (inner,), (Barrier(),)),
+        While(_c(0) < _c(1), (Assign(_v("x"), _c(2)),)),
+    ]
+    assert len(list(walk_stmts(body))) == 5
+
+
+def test_stmt_exprs_covers_every_direct_position():
+    i = _v("i")
+    let = Let(i, _c(1))
+    assert stmt_exprs(let) == (let.value,)
+    st = Store(BUF, _c(0), _c(1))
+    assert stmt_exprs(st) == (st.index, st.value)
+    f = For(i, _c(0), _c(4), _c(1), ())
+    assert stmt_exprs(f) == (f.start, f.stop, f.step)
+    assert stmt_exprs(Barrier()) == ()
+
+
+def test_any_expr_reaches_nested_loads():
+    body = [For(_v("i"), _c(0), _c(4), _c(1), (Let(_v("x"), Load(BUF, _v("i"))),))]
+    assert any_expr(body, lambda e: isinstance(e, Load))
+    assert not any_expr(body, lambda e: isinstance(e, SpecialReg))
+
+
+# ---------------------------------------------------------------------------
+# map_expr
+# ---------------------------------------------------------------------------
+
+
+def test_map_expr_rebuilds_parents_of_replaced_leaf():
+    e = BinOp("add", _v("x"), BinOp("mul", _v("x"), _c(2)))
+    two = _c(7)
+    out = map_expr(e, lambda n: two if isinstance(n, Var) else n)
+    assert out is not e
+    assert out.a is two and out.b.a is two
+
+
+def test_map_expr_shares_untouched_subtrees():
+    left = BinOp("mul", _v("y"), _c(3))
+    e = BinOp("add", left, _v("x"))
+    out = map_expr(e, lambda n: _c(0) if isinstance(n, Var) and n.name == "x" else n)
+    assert out.a is left  # untouched branch not copied
+    assert out.b.value == 0
+
+
+def test_map_expr_identity_returns_same_object():
+    e = Select(_v("p") < _c(1), Load(BUF, _v("i")), _c(0))
+    assert map_expr(e, lambda n: n) is e
+
+
+# ---------------------------------------------------------------------------
+# map_stmts
+# ---------------------------------------------------------------------------
+
+
+def _loop(body, var="i", trip=4):
+    return For(_v(var), _c(0), _c(trip), _c(1), tuple(body))
+
+
+def test_map_stmts_splices_lists_and_deletes_none():
+    a, b, c = Let(_v("a"), _c(1)), Let(_v("b"), _c(2)), Let(_v("c"), _c(3))
+
+    def fn(s):
+        if s is a:
+            return [a, Assign(_v("a"), _c(9))]  # splice two for one
+        if s is b:
+            return None  # delete
+        return s
+
+    out = map_stmts([a, b, c], fn)
+    assert len(out) == 3
+    assert out[0] is a and isinstance(out[1], Assign) and out[2] is c
+
+
+def test_map_stmts_identity_shares_statements():
+    body = [_loop([Let(_v("x"), _c(1))]), Barrier()]
+    out = map_stmts(body, lambda s: s)
+    assert out[0] is body[0] and out[1] is body[1]
+
+
+def test_map_stmts_rebuilds_nested_parents():
+    target = Let(_v("x"), _c(1))
+    replacement = Let(_v("x"), _c(2))
+    loop = _loop([target])
+    cond = If(_c(0) < _c(1), (loop,), ())
+    (out,) = map_stmts([cond], lambda s: replacement if s is target else s)
+    assert out is not cond
+    assert out.then[0].body[0] is replacement
+    assert out.orelse == ()
+
+
+def test_map_stmts_regression_structurally_equal_replacement_not_dropped():
+    # regression: statement dataclasses compare field-wise and expression
+    # __eq__ is not structural, so a rebuilt subtree could compare
+    # "equal" to the original — change detection must be by identity,
+    # or a rewrite nested under If/For is silently discarded
+    target = Let(_v("x"), _c(1))
+    twin = Let(_v("x"), _c(1))  # structurally identical, distinct object
+    cond = If(_c(0) < _c(1), (_loop([target]),), ())
+    (out,) = map_stmts([cond], lambda s: twin if s is target else s)
+    assert out.then[0].body[0] is twin
+
+
+def test_map_stmts_rebuilds_while_and_else_branch():
+    target = Assign(_v("x"), _c(1))
+    new = Assign(_v("x"), _c(5))
+    body = [
+        Let(_v("x"), _c(0)),
+        While(_v("x") < _c(3), (target,)),
+        If(_v("x") < _c(1), (), (target,)),
+    ]
+    out = map_stmts(body, lambda s: new if s is target else s)
+    assert out[1].body[0] is new
+    assert out[2].orelse[0] is new
+
+
+# ---------------------------------------------------------------------------
+# map_stmt_exprs
+# ---------------------------------------------------------------------------
+
+
+def test_map_stmt_exprs_touches_direct_exprs_only():
+    inner = Store(BUF, _v("i"), _v("x"))
+    loop = For(_v("i"), _c(0), BinOp("add", _v("n"), _c(0)), _c(1), (inner,))
+
+    out = map_stmt_exprs(
+        loop, lambda e: _c(8) if isinstance(e, Var) and e.name == "n" else e
+    )
+    assert out.stop.a.value == 8
+    assert out.body[0] is inner  # nested bodies are not entered
+
+
+def test_map_stmt_exprs_identity_returns_same_statement():
+    s = Store(BUF, _v("i"), BinOp("add", _v("x"), _c(1)))
+    assert map_stmt_exprs(s, lambda e: e) is s
+    b = Barrier()
+    assert map_stmt_exprs(b, lambda e: e) is b
+
+
+def test_map_stmt_exprs_rebuilds_each_statement_kind():
+    v = _v("x")
+    repl = lambda e: _c(9) if isinstance(e, Var) and e.name == "x" else e
+    assert map_stmt_exprs(Let(_v("y"), v), repl).value.value == 9
+    assert map_stmt_exprs(Assign(_v("y"), v), repl).value.value == 9
+    assert map_stmt_exprs(If(v < _c(1), (), ()), repl).cond.a.value == 9
+    assert map_stmt_exprs(While(v < _c(1), ()), repl).cond.a.value == 9
