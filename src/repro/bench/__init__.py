@@ -38,9 +38,17 @@ __all__ = [
     "write_bench",
     "load_bench",
     "default_baseline_path",
+    "HISTORY_SCHEMA",
+    "default_history_path",
+    "history_record",
+    "append_history",
+    "load_history",
 ]
 
 SCHEMA_VERSION = 1
+
+#: layout version of one BENCH_history.jsonl record
+HISTORY_SCHEMA = 1
 
 #: gated metric -> relative tolerance.  The virtual-clock metrics are
 #: deterministic, so the tolerance only absorbs float summation noise;
@@ -80,7 +88,7 @@ def run_bench(
     size: str = "small",
     jobs: int = 1,
     experiments=None,
-    progress: bool = False,
+    progress="off",
 ) -> dict:
     """Run the sweep cold + warm and return ``{metric: value}``.
 
@@ -181,6 +189,72 @@ def load_bench(path) -> dict:
             f"{path}: bench schema {payload.get('schema')!r} != {SCHEMA_VERSION}"
         )
     return payload
+
+
+# -- bench history ---------------------------------------------------------
+def default_history_path() -> Path:
+    """The committed trajectory: ``benchmarks/BENCH_history.jsonl``."""
+    return Path(__file__).resolve().parents[3] / "benchmarks" / "BENCH_history.jsonl"
+
+
+def history_record(payload: dict) -> dict:
+    """One append-only trajectory point, slimmed from a bench payload.
+
+    Metrics flatten to plain ``{name: value}`` (tolerances live with
+    the baseline, not the trajectory) so a record stays one short line
+    and ``repro.obs regress --history`` can diff any two points.
+    """
+    return {
+        "schema": HISTORY_SCHEMA,
+        "tag": payload.get("tag"),
+        "size": payload.get("size"),
+        "jobs": payload.get("jobs"),
+        "version": payload.get("version"),
+        "git_sha": payload.get("git_sha"),
+        "created_unix": payload.get("created_unix"),
+        "metrics": {
+            name: m["value"] for name, m in sorted(
+                (payload.get("metrics") or {}).items()
+            )
+        },
+    }
+
+
+def append_history(payload: dict, path=None) -> Path:
+    """Append one bench run to the trajectory file (JSONL, one line)."""
+    path = Path(path) if path is not None else default_history_path()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    line = json.dumps(history_record(payload), sort_keys=True,
+                      separators=(",", ":"))
+    with open(path, "a") as f:
+        f.write(line + "\n")
+    return path
+
+
+def load_history(path=None) -> list:
+    """Every parseable trajectory record, in file order.
+
+    Torn or foreign-schema lines are skipped, never fatal — the file is
+    appended by many CI runs and a truncated tail must not break the
+    tooling reading it.
+    """
+    path = Path(path) if path is not None else default_history_path()
+    records = []
+    try:
+        raw = path.read_text()
+    except OSError:
+        return records
+    for line in raw.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(rec, dict) and rec.get("schema") == HISTORY_SCHEMA:
+            records.append(rec)
+    return records
 
 
 def compare(current: dict, baseline: dict) -> list:

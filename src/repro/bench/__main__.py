@@ -16,8 +16,10 @@ import sys
 from .. import telemetry
 from ..telemetry import spans as tspans
 from . import (
+    append_history,
     compare,
     default_baseline_path,
+    default_history_path,
     load_bench,
     make_payload,
     regressions,
@@ -61,6 +63,11 @@ def main(argv=None) -> int:
         "--compare", default=None, metavar="FILE",
         help="gate an existing BENCH_*.json instead of running the sweep",
     )
+    ap.add_argument(
+        "--record-history", nargs="?", const="", default=None, metavar="FILE",
+        help="append this run to the bench trajectory (default file: "
+        "benchmarks/BENCH_history.jsonl)",
+    )
     telemetry.add_telemetry_arguments(ap)
     args = ap.parse_args(argv)
 
@@ -76,7 +83,7 @@ def main(argv=None) -> int:
                 size=args.size,
                 jobs=args.jobs,
                 experiments=args.experiments,
-                progress=not args.quiet,
+                progress=telemetry.progress_mode(args),
             )
         current = make_payload(values, tag=tag, size=args.size, jobs=args.jobs)
         out = args.output or f"BENCH_{tag}.json"
@@ -84,6 +91,12 @@ def main(argv=None) -> int:
         print(f"bench: wrote {out}", file=sys.stderr)
 
     telemetry.finish_run(args, tr, "repro.bench")
+
+    if args.record_history is not None:
+        hpath = append_history(
+            current, args.record_history or default_history_path()
+        )
+        print(f"bench: appended to trajectory {hpath}", file=sys.stderr)
 
     if args.update_baseline:
         write_bench(current, baseline_path)

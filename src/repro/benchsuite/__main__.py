@@ -99,7 +99,7 @@ def main(argv=None) -> int:
     )
     executor = rexec.SweepExecutor(
         jobs=args.jobs, cache=cache, timeout=args.timeout,
-        retries=args.retries, progress=not args.quiet,
+        retries=args.retries, progress=telemetry.progress_mode(args),
         journal=journal, resumed=replay,
         preflight=not args.no_preflight, grace=args.grace,
     )

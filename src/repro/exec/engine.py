@@ -72,6 +72,7 @@ from ..errors import (
 from ..telemetry import log, metrics
 from ..telemetry import spans as tspans
 from ..telemetry.progress import ProgressLine
+from . import journal as journal_mod
 from .cache import ResultCache, result_from_json, result_to_json
 from .unit import UnitResult, WorkUnit, execute, unit_digest
 
@@ -367,8 +368,13 @@ class SweepExecutor:
             else faults_mod.from_env()
         )
         self.stats = SweepStats()
-        #: live progress meter during prewarm (TTY-gated; see telemetry)
-        self.progress = bool(progress)
+        #: progress-meter mode during prewarm: "auto" (TTY-gated live
+        #: line), "plain" (periodic lines for CI logs), "off"; bools are
+        #: accepted for back-compat (True -> auto, False -> off)
+        if isinstance(progress, str):
+            self.progress = progress
+        else:
+            self.progress = "auto" if progress else "off"
         self._progress_line: Optional[ProgressLine] = None
         self._mem: dict = {}  # digest -> payload
         self._digests: dict = {}  # WorkUnit -> digest
@@ -391,6 +397,15 @@ class SweepExecutor:
         if self.cache is not None:
             # let the cache report quarantines into this sweep's stats
             self.cache.stats = self.stats
+        if self.journal is not None:
+            # liveness: periodic journaled heartbeats + a metrics-snapshot
+            # flush, so repro.obs can watch this run from outside the
+            # process (dies with the journal's close())
+            self.journal.start_heartbeat(
+                journal_mod.heartbeat_interval(),
+                stats_fn=self._heartbeat_stats,
+                flush_fn=self._flush_metrics,
+            )
 
     # -- lifecycle ---------------------------------------------------------
     @property
@@ -453,6 +468,22 @@ class SweepExecutor:
             self.journal.record_demote(self._pool_incidents, reason)
 
     # -- journal hooks -----------------------------------------------------
+    def _heartbeat_stats(self) -> dict:
+        """Progress counters each heartbeat record carries."""
+        return {
+            "done": len(self.stats.records),
+            "failed": len(self.stats.failures),
+        }
+
+    def _flush_metrics(self) -> None:
+        """Persist the live metrics snapshot for out-of-process scrapers."""
+        if self.cache is None or self.journal is None:
+            return
+        try:
+            metrics.write_snapshot_file(self.cache.root, self.journal.run_id)
+        except OSError:
+            pass  # a full disk must not kill the sweep it describes
+
     def _jstart(self, digest: str, unit: WorkUnit, attempt: int) -> None:
         if self.journal is not None:
             self.journal.record_start(digest, unit.label(), attempt)
@@ -666,8 +697,8 @@ class SweepExecutor:
         if self.preflight:
             self._preflight(todo)
         prog = self._progress_line = ProgressLine(
-            len(seen), label="sweep"
-        ) if self.progress else None
+            len(seen), label="sweep", mode=self.progress
+        ) if self.progress != "off" else None
         if prog is not None:
             for _ in range(warm):
                 prog.tick(hit=True)

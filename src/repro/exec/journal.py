@@ -10,6 +10,14 @@ transitions, a final ``state`` of ``complete`` / ``interrupted`` /
 ``failed``).  Every append is flushed and fsynced, so the journal is
 the durable source of truth about what a killed process was doing.
 
+While a sweep runs, the journal is also its *liveness* channel: a
+daemon thread started by :meth:`RunJournal.start_heartbeat` appends a
+``hb`` record every few seconds (progress counters, pid, interval), so
+an out-of-process reader (:mod:`repro.obs`) can tell a live run from a
+crashed one and flag in-flight units that have outlived the beat.  The
+same thread drives the periodic metrics-snapshot flush the OpenMetrics
+exporter reads.
+
 Replay (:func:`load` -> :class:`JournalReplay`) classifies every digest
 the journal mentions:
 
@@ -45,12 +53,29 @@ __all__ = [
     "resolve",
     "latest_resumable",
     "JOURNAL_SCHEMA",
+    "DEFAULT_HEARTBEAT_S",
+    "heartbeat_interval",
 ]
 
-JOURNAL_SCHEMA = 1
+#: v2 added per-record ``unix`` timestamps and periodic ``hb``
+#: heartbeat records; replay ignores both, so v1 journals still resume
+JOURNAL_SCHEMA = 2
 
 #: terminal run states a ``state`` record may carry
 RUN_STATES = ("complete", "interrupted", "failed")
+
+#: default seconds between heartbeat records ($REPRO_HEARTBEAT_S
+#: overrides; 0 disables the thread entirely)
+DEFAULT_HEARTBEAT_S = 5.0
+
+
+def heartbeat_interval() -> float:
+    """The configured heartbeat period, from ``$REPRO_HEARTBEAT_S``."""
+    raw = os.environ.get("REPRO_HEARTBEAT_S", "")
+    try:
+        return float(raw) if raw else DEFAULT_HEARTBEAT_S
+    except ValueError:
+        return DEFAULT_HEARTBEAT_S
 
 
 def journal_dir(cache_dir) -> Path:
@@ -109,6 +134,9 @@ class RunJournal:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._f = open(self.path, "a")
         self.closed = False
+        self._hb_stop: Optional[threading.Event] = None
+        self._hb_thread: Optional[threading.Thread] = None
+        self._hb_flush = None
 
     # -- construction -----------------------------------------------------
     @classmethod
@@ -158,26 +186,86 @@ class RunJournal:
         )
 
     def record_plan(self, units: int, todo: int) -> None:
-        self.append({"t": "plan", "units": units, "todo": todo})
+        self.append({"t": "plan", "units": units, "todo": todo, "unix": time.time()})
 
     def record_start(self, digest: str, label: str, attempt: int = 1) -> None:
-        self.append({"t": "start", "d": digest, "label": label, "attempt": attempt})
+        self.append(
+            {"t": "start", "d": digest, "label": label, "attempt": attempt,
+             "unix": time.time()}
+        )
 
     def record_done(self, digest: str, source: str = "run") -> None:
-        self.append({"t": "done", "d": digest, "source": source})
+        self.append({"t": "done", "d": digest, "source": source, "unix": time.time()})
 
     def record_fail(self, digest: str, kind: str, injected: bool = False) -> None:
-        self.append({"t": "fail", "d": digest, "kind": kind, "injected": injected})
+        self.append(
+            {"t": "fail", "d": digest, "kind": kind, "injected": injected,
+             "unix": time.time()}
+        )
 
     def record_demote(self, incidents: int, reason: str) -> None:
         self.append({"t": "demote", "incidents": incidents, "reason": reason})
+
+    def record_heartbeat(self, interval: float, **progress) -> None:
+        """One liveness beat: pid + interval + whatever progress counters."""
+        self.append(
+            {"t": "hb", "unix": time.time(), "pid": os.getpid(),
+             "interval": float(interval), **progress}
+        )
+        metrics.counter("journal.heartbeats").inc()
+
+    # -- heartbeat thread --------------------------------------------------
+    def start_heartbeat(
+        self, interval: float, stats_fn=None, flush_fn=None
+    ) -> bool:
+        """Beat every ``interval`` seconds until :meth:`close` (daemon).
+
+        ``stats_fn`` (when given) supplies the progress counters each
+        beat carries; ``flush_fn`` runs after every beat — the engine
+        uses it to flush its metrics snapshot so an out-of-process
+        scraper always sees data at most one beat old.  Idempotent:
+        only the first call starts a thread.
+        """
+        if interval <= 0 or self._hb_thread is not None or self.closed:
+            return False
+        self._hb_flush = flush_fn
+        stop = self._hb_stop = threading.Event()
+
+        def _beat() -> None:
+            while not stop.wait(interval):
+                try:
+                    self.record_heartbeat(
+                        interval, **(stats_fn() if stats_fn is not None else {})
+                    )
+                    if flush_fn is not None:
+                        flush_fn()
+                except Exception:
+                    # liveness must never kill the run it reports on
+                    if self.closed:
+                        return
+
+        self._hb_thread = threading.Thread(
+            target=_beat, name="repro-heartbeat", daemon=True
+        )
+        self._hb_thread.start()
+        return True
 
     def close(self, state: str = "complete") -> None:
         """Write the terminal ``state`` record and close the file."""
         if self.closed:
             return
+        if self._hb_stop is not None:
+            self._hb_stop.set()
+        if self._hb_thread is not None:
+            self._hb_thread.join(timeout=2.0)
+            self._hb_thread = None
         if state not in RUN_STATES:
             raise ValueError(f"unknown run state {state!r}; one of {RUN_STATES}")
+        if self._hb_flush is not None:
+            try:
+                self._hb_flush()  # final snapshot covers the whole run
+            except Exception:
+                pass
         self.append({"t": "state", "state": state, "unix": time.time()})
         with self._lock:
             self.closed = True

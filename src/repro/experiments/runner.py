@@ -107,7 +107,7 @@ def build_executor(args, journal=None, resumed=None) -> rexec.SweepExecutor:
         cache=cache,
         timeout=getattr(args, "timeout", None),
         retries=getattr(args, "retries", 2),
-        progress=not getattr(args, "quiet", False),
+        progress=telemetry.progress_mode(args),
         journal=journal,
         resumed=resumed,
         preflight=not getattr(args, "no_preflight", False),

@@ -1,0 +1,157 @@
+"""Critical-path analysis over a merged chrome trace.
+
+``repro.obs critpath`` answers "where did the wall clock go?" for a run
+whose merged trace (:mod:`repro.telemetry.export`, ``--trace FILE``)
+was saved: per-category *busy* wall time computed as the union of that
+category's ``ph: "X"`` slices (so ten overlapping worker slices of 1s
+count 1s of wall, not 10s of CPU), the share of the run's total span
+each category keeps busy, and the top-k longest individual slices —
+the spans actually worth optimising.
+
+``diff`` runs the same attribution over two traces and reports the
+per-category wall delta, which turns "the sweep got slower" into "the
+cache I/O band grew 40%".
+"""
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+__all__ = ["load_trace", "analyze", "diff", "render", "render_diff"]
+
+_US = 1e6
+
+
+def load_trace(path) -> list:
+    """The ``traceEvents`` list of one merged trace file."""
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents", doc) if isinstance(doc, dict) else doc
+    if not isinstance(events, list):
+        raise ValueError(f"{path}: not a chrome trace (no traceEvents list)")
+    return events
+
+
+def _union_s(intervals) -> float:
+    """Total seconds covered by a set of (t0, t1) intervals."""
+    total = 0.0
+    end = float("-inf")
+    for t0, t1 in sorted(intervals):
+        if t0 > end:
+            total += t1 - t0
+            end = t1
+        elif t1 > end:
+            total += t1 - end
+            end = t1
+    return total
+
+
+def analyze(events, top: int = 10) -> dict:
+    """Per-category wall attribution for one trace.
+
+    Returns ``{"wall_s", "categories": [...], "top_spans": [...],
+    "slices", "instants"}``; categories sort by busy seconds
+    descending (name-tiebroken, so output is deterministic).
+    """
+    by_cat: dict = {}
+    spans: list = []
+    instants = 0
+    t_min, t_max = float("inf"), float("-inf")
+    for e in events:
+        ph = e.get("ph")
+        if ph == "i":
+            instants += 1
+            continue
+        if ph != "X":
+            continue
+        t0 = float(e.get("ts", 0.0)) / _US
+        t1 = t0 + float(e.get("dur", 0.0)) / _US
+        cat = e.get("cat", "other")
+        by_cat.setdefault(cat, []).append((t0, t1))
+        spans.append((t1 - t0, e.get("name", "?"), cat, t0))
+        t_min = min(t_min, t0)
+        t_max = max(t_max, t1)
+    wall = max(0.0, t_max - t_min) if spans else 0.0
+    cats = []
+    for cat in by_cat:
+        busy = _union_s(by_cat[cat])
+        cats.append({
+            "cat": cat,
+            "busy_s": busy,
+            "share": (busy / wall) if wall else 0.0,
+            "slices": len(by_cat[cat]),
+        })
+    cats.sort(key=lambda c: (-c["busy_s"], c["cat"]))
+    spans.sort(key=lambda s: (-s[0], s[1], s[3]))
+    return {
+        "wall_s": wall,
+        "categories": cats,
+        "top_spans": [
+            {"dur_s": d, "name": n, "cat": c, "t0_s": t0}
+            for d, n, c, t0 in spans[:top]
+        ],
+        "slices": len(spans),
+        "instants": instants,
+    }
+
+
+def diff(base: dict, current: dict) -> list:
+    """Per-category busy-seconds delta between two :func:`analyze` results."""
+    b = {c["cat"]: c for c in base["categories"]}
+    c = {cc["cat"]: cc for cc in current["categories"]}
+    rows = []
+    for cat in sorted(set(b) | set(c)):
+        bs = b.get(cat, {}).get("busy_s", 0.0)
+        cs = c.get(cat, {}).get("busy_s", 0.0)
+        rows.append({
+            "cat": cat,
+            "base_s": bs,
+            "current_s": cs,
+            "delta_s": cs - bs,
+            "ratio": (cs / bs) if bs > 0 else None,
+        })
+    rows.sort(key=lambda r: (-abs(r["delta_s"]), r["cat"]))
+    return rows
+
+
+def _s(v: float) -> str:
+    return f"{v:.3f}s"
+
+
+def render(result: dict, label: str = "trace") -> str:
+    """ASCII report in the house table style."""
+    lines = [
+        f"== critpath[{label}]: {_s(result['wall_s'])} wall, "
+        f"{result['slices']} slice(s), {result['instants']} instant(s) ==",
+        f"{'category':<22} {'busy':>10} {'share':>7} {'slices':>7}",
+        "-" * 49,
+    ]
+    for c in result["categories"]:
+        lines.append(
+            f"{c['cat']:<22} {_s(c['busy_s']):>10} "
+            f"{c['share']:>6.1%} {c['slices']:>7}"
+        )
+    if result["top_spans"]:
+        lines.append("")
+        lines.append(f"top {len(result['top_spans'])} span(s) by duration:")
+        for s in result["top_spans"]:
+            lines.append(
+                f"  {_s(s['dur_s']):>10}  {s['cat']:<10} {s['name']}"
+            )
+    return "\n".join(lines)
+
+
+def render_diff(rows, base_label: str, cur_label: str) -> str:
+    head = f"{'category':<22} {'base':>10} {'current':>10} {'delta':>10} {'ratio':>7}"
+    lines = [
+        f"== critpath diff: {base_label} -> {cur_label} ==",
+        head,
+        "-" * len(head),
+    ]
+    for r in rows:
+        ratio = "-" if r["ratio"] is None else f"{r['ratio']:.2f}x"
+        lines.append(
+            f"{r['cat']:<22} {_s(r['base_s']):>10} {_s(r['current_s']):>10} "
+            f"{r['delta_s']:>+9.3f}s {ratio:>7}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,176 @@
+"""Render a metrics snapshot as an OpenMetrics/Prometheus textfile.
+
+``repro.obs metrics`` turns the per-run snapshot the engine's heartbeat
+thread flushes (:func:`repro.telemetry.metrics.write_snapshot_file`)
+into the textfile-collector format every Prometheus-compatible scraper
+understands::
+
+    # HELP repro_journal_appends_total repro counter journal.appends
+    # TYPE repro_journal_appends_total counter
+    repro_journal_appends_total{run_id="..."} 42
+    ...
+    # EOF
+
+Mapping rules:
+
+* metric names are prefixed ``repro_`` and sanitised to the metric
+  charset (dots become underscores);
+* counters get the mandatory ``_total`` suffix;
+* gauges render as two families — the current value and the
+  ``_max`` high-water mark (both gauges);
+* histograms render cumulative ``_bucket{le="..."}`` series (ending at
+  ``le="+Inf"``) plus ``_sum`` and ``_count``, straight from the
+  registry's fixed-boundary counts;
+* every sample carries a ``run_id`` label so textfiles from several
+  runs can be concatenated without collisions.
+
+Output is byte-deterministic: families sort by name, labels are fixed,
+floats use ``repr``-stable formatting.  :func:`lint` re-parses a
+rendered document and reports violations (duplicate families, bad
+names, non-monotonic buckets, missing ``# EOF``) — CI runs it against
+the live exporter output.
+"""
+from __future__ import annotations
+
+import re
+
+__all__ = ["render", "lint", "metric_name"]
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def metric_name(name: str) -> str:
+    """``journal.append_s`` -> ``repro_journal_append_s``."""
+    base = _SANITIZE.sub("_", name)
+    if not base or not _NAME_OK.match(base):
+        base = "_" + _SANITIZE.sub("_", base)
+    return f"repro_{base}"
+
+
+def _num(v: float) -> str:
+    """Prometheus float formatting: integers bare, else shortest repr."""
+    f = float(v)
+    if f != f:
+        return "NaN"
+    if f in (float("inf"), float("-inf")):
+        return "+Inf" if f > 0 else "-Inf"
+    if f == int(f) and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def _labels(run_id: str) -> str:
+    esc = run_id.replace("\\", "\\\\").replace('"', '\\"')
+    return f'{{run_id="{esc}"}}'
+
+
+def _family(lines, name, mtype, help_text, samples) -> None:
+    lines.append(f"# HELP {name} {help_text}")
+    lines.append(f"# TYPE {name} {mtype}")
+    lines.extend(samples)
+
+
+def render(snapshot: dict, run_id: str = "unknown") -> str:
+    """One snapshot (``{name: instrument.as_dict()}``) -> textfile body."""
+    lbl = _labels(run_id)
+    esc = run_id.replace("\\", "\\\\").replace('"', '\\"')
+    families = []  # (family_name, mtype, help, [sample lines])
+    for raw in sorted(snapshot):
+        m = snapshot[raw]
+        kind = m.get("type")
+        base = metric_name(raw)
+        if kind == "counter":
+            families.append((
+                f"{base}_total", "counter", f"repro counter {raw}",
+                [f"{base}_total{lbl} {_num(m['value'])}"],
+            ))
+        elif kind == "gauge":
+            families.append((
+                base, "gauge", f"repro gauge {raw}",
+                [f"{base}{lbl} {_num(m['value'])}"],
+            ))
+            families.append((
+                f"{base}_max", "gauge", f"repro gauge {raw} high-water mark",
+                [f"{base}_max{lbl} {_num(m['max'])}"],
+            ))
+        elif kind == "histogram":
+            samples = []
+            cum = 0
+            for b, c in zip(m["boundaries"], m["counts"]):
+                cum += c
+                samples.append(
+                    f'{base}_bucket{{run_id="{esc}",le="{_num(b)}"}} {cum}'
+                )
+            samples.append(
+                f'{base}_bucket{{run_id="{esc}",le="+Inf"}} {m["count"]}'
+            )
+            samples.append(f"{base}_sum{lbl} {_num(m['sum'])}")
+            samples.append(f"{base}_count{lbl} {m['count']}")
+            families.append((
+                base, "histogram", f"repro histogram {raw}", samples,
+            ))
+        # unknown instrument types are skipped, same as merge_snapshot
+    families.sort(key=lambda fam: fam[0])
+    lines: list = []
+    for name, mtype, help_text, samples in families:
+        _family(lines, name, mtype, help_text, samples)
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def lint(text: str) -> list:
+    """Validate a rendered textfile; returns a list of problem strings.
+
+    Checks the invariants a Prometheus textfile collector cares about:
+    unique family declarations, legal metric names, cumulative
+    (monotonically non-decreasing) histogram buckets, samples only for
+    declared families, and the ``# EOF`` terminator.
+    """
+    problems: list = []
+    lines = text.splitlines()
+    if not lines or lines[-1] != "# EOF":
+        problems.append("missing '# EOF' terminator")
+    declared: dict = {}
+    bucket_last: dict = {}
+    for i, line in enumerate(lines, 1):
+        if not line or line == "# EOF":
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) < 4:
+                problems.append(f"line {i}: malformed TYPE")
+                continue
+            name, mtype = parts[2], parts[3]
+            if name in declared:
+                problems.append(f"line {i}: duplicate family {name!r}")
+            declared[name] = mtype
+            if not _NAME_OK.match(name):
+                problems.append(f"line {i}: bad metric name {name!r}")
+            continue
+        if line.startswith("#"):
+            continue
+        # a sample: name{labels} value
+        sample = line.split("{", 1)[0].split()[0]
+        fam = sample
+        for suffix in ("_bucket", "_sum", "_count"):
+            if sample.endswith(suffix) and sample[: -len(suffix)] in declared:
+                fam = sample[: -len(suffix)]
+                break
+        if fam not in declared and sample not in declared:
+            problems.append(f"line {i}: sample for undeclared family {sample!r}")
+            continue
+        if sample.endswith("_bucket") and declared.get(fam) == "histogram":
+            try:
+                val = float(line.rsplit(" ", 1)[1])
+            except (IndexError, ValueError):
+                problems.append(f"line {i}: unparseable bucket sample")
+                continue
+            if val < bucket_last.get(fam, 0.0):
+                problems.append(
+                    f"line {i}: histogram {fam!r} buckets not cumulative"
+                )
+            bucket_last[fam] = val
+            if 'le="+Inf"' in line:
+                bucket_last.pop(fam, None)  # next series starts fresh
+    return problems

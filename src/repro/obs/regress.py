@@ -1,0 +1,111 @@
+"""Bench-trajectory regression attribution.
+
+``repro.obs regress`` compares two ``repro.bench`` snapshots — either
+``BENCH_*.json`` payloads or entries of the append-only
+``benchmarks/BENCH_history.jsonl`` trajectory — and attributes drift
+per metric.  Unlike the bench gate (:func:`repro.bench.compare`),
+which enforces each metric's committed tolerance, this tool asks the
+trajectory question: *between these two points, what moved more than
+X%?* — with a single relative ``threshold`` (default 20%).
+
+Direction matters here: for the cost-like metrics every bench snapshot
+records (seconds, bytes, counts), growth beyond the threshold is
+``regressed``, shrinkage beyond it is ``improved``, and everything in
+band is ``ok``.  ``missing`` marks metrics present in only one
+snapshot.  Exit status is 1 iff anything regressed.
+"""
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["DEFAULT_THRESHOLD", "metric_values", "compare", "render"]
+
+#: relative drift (fraction of the base value) tolerated by default
+DEFAULT_THRESHOLD = 0.2
+
+
+def metric_values(payload: dict) -> dict:
+    """``{metric: float}`` from either bench-payload metric shape.
+
+    ``BENCH_*.json`` stores ``{"metrics": {name: {"value": v, ...}}}``;
+    history records store the slimmer ``{"metrics": {name: v}}``.  Both
+    normalise to plain floats here.
+    """
+    out = {}
+    for name, m in (payload.get("metrics") or {}).items():
+        out[name] = float(m["value"]) if isinstance(m, dict) else float(m)
+    return out
+
+
+def compare(
+    base: dict,
+    current: dict,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> list:
+    """One row per metric across both snapshots, sorted by metric name."""
+    b = metric_values(base)
+    c = metric_values(current)
+    rows = []
+    for name in sorted(set(b) | set(c)):
+        if name not in b or name not in c:
+            rows.append({
+                "metric": name,
+                "base": b.get(name),
+                "current": c.get(name),
+                "delta_pct": None,
+                "status": "missing",
+            })
+            continue
+        bv, cv = b[name], c[name]
+        delta = cv - bv
+        # relative band with an absolute floor so a zero base still
+        # tolerates float dust instead of flagging any epsilon
+        allowed = threshold * abs(bv) + 1e-9
+        if abs(delta) <= allowed:
+            status = "ok"
+        elif delta > 0:
+            status = "regressed"
+        else:
+            status = "improved"
+        rows.append({
+            "metric": name,
+            "base": bv,
+            "current": cv,
+            "delta_pct": (100.0 * delta / bv) if bv else None,
+            "status": status,
+        })
+    return rows
+
+
+def regressed(rows) -> list:
+    return [r for r in rows if r["status"] == "regressed"]
+
+
+def _fmt(v: Optional[float]) -> str:
+    if v is None:
+        return "-"
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return f"{v:.6g}"
+
+
+def render(rows, threshold: float, base_label: str, cur_label: str) -> str:
+    width = max([len(r["metric"]) for r in rows] + [10])
+    head = (
+        f"{'metric':<{width}} {'base':>14} {'current':>14} "
+        f"{'drift':>9} {'status':>10}"
+    )
+    bad = len(regressed(rows))
+    lines = [
+        f"== regress: {base_label} -> {cur_label} "
+        f"(threshold {threshold:.0%}, {bad} regression(s)) ==",
+        head,
+        "-" * len(head),
+    ]
+    for r in rows:
+        drift = "-" if r["delta_pct"] is None else f"{r['delta_pct']:+.1f}%"
+        lines.append(
+            f"{r['metric']:<{width}} {_fmt(r['base']):>14} "
+            f"{_fmt(r['current']):>14} {drift:>9} {r['status']:>10}"
+        )
+    return "\n".join(lines)

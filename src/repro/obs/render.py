@@ -1,0 +1,115 @@
+"""Text rendering for ``repro.obs ls`` / ``status`` / ``watch``.
+
+All output here is plain ASCII in the house table style and — given a
+pinned ``now`` (the ``--once`` path) — byte-deterministic: every
+number derives from journal record timestamps, fixed-precision
+formatting, and sorted iteration.  The live ``watch`` loop reuses the
+same renderers and only adds screen-refresh chrome around them.
+"""
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["fmt_duration", "fmt_unix", "render_status", "render_ls"]
+
+
+def fmt_duration(s: Optional[float]) -> str:
+    """``3723.4`` -> ``1h02m03s``; sub-minute values keep a decimal."""
+    if s is None:
+        return "-"
+    s = max(0.0, float(s))
+    if s < 60:
+        return f"{s:.1f}s"
+    m, sec = divmod(int(round(s)), 60)
+    h, m = divmod(m, 60)
+    if h:
+        return f"{h}h{m:02d}m{sec:02d}s"
+    return f"{m}m{sec:02d}s"
+
+
+def fmt_unix(u: Optional[float]) -> str:
+    """Absolute timestamps render as raw epoch seconds.
+
+    Deliberately not local time: golden files must not depend on the
+    host timezone, and epoch seconds diff cleanly.
+    """
+    if u is None:
+        return "-"
+    return f"@{u:.3f}"
+
+
+def _live_word(status) -> str:
+    if status.live is True:
+        return "live"
+    if status.live is False:
+        return "STALE"
+    return "-"
+
+
+def _progress_bar(pct: Optional[float], width: int = 24) -> str:
+    if pct is None:
+        return "-" * width
+    filled = int(width * min(100.0, max(0.0, pct)) / 100.0)
+    return "#" * filled + "." * (width - filled)
+
+
+def render_status(status, verbose: bool = True) -> str:
+    """The full ``repro.obs status`` block for one run."""
+    s = status
+    lines = [
+        f"run {s.run_id}  [{s.state}{'/' + _live_word(s) if s.live is not None else ''}]",
+        f"  command:    {s.command or '-'}",
+    ]
+    if s.resumed_from:
+        lines.append(f"  resumed:    from {s.resumed_from}")
+    pct = "-" if s.progress_pct is None else f"{s.progress_pct:5.1f}%"
+    lines += [
+        f"  progress:   [{_progress_bar(s.progress_pct)}] {pct}",
+        f"  units:      {s.planned} planned = {s.cached} cached + {s.done} done"
+        f" + {s.failed} failed + {s.in_flight} in-flight + {s.queued} queued",
+    ]
+    if s.fail_kinds:
+        kinds = "  ".join(f"{k}:{n}" for k, n in sorted(s.fail_kinds.items()))
+        inj = f"  ({s.injected_failures} injected)" if s.injected_failures else ""
+        lines.append(f"  failures:   {kinds}{inj}")
+    tput = "-" if s.throughput_ups is None else f"{s.throughput_ups:.2f} units/s"
+    lines.append(f"  throughput: {tput}   eta: {fmt_duration(s.eta_s)}")
+    if s.heartbeat_age_s is not None:
+        lines.append(
+            f"  heartbeat:  {fmt_duration(s.heartbeat_age_s)} ago "
+            f"(interval {fmt_duration(s.heartbeat_interval_s)})"
+        )
+    if s.stale_units:
+        lines.append(
+            f"  stale:      {len(s.stale_units)} in-flight unit(s) of a "
+            "presumed-dead run (a --resume would re-run them):"
+        )
+        for label in s.stale_units:
+            lines.append(f"              - {label}")
+    if s.demoted:
+        lines.append("  degraded:   run demoted to serial in-process execution")
+    if verbose:
+        lines.append(
+            f"  journal:    {s.records} record(s), {s.torn_lines} torn, "
+            f"{fmt_unix(s.started_unix)} .. {fmt_unix(s.updated_unix)}"
+        )
+    return "\n".join(lines)
+
+
+def render_ls(statuses) -> str:
+    """One row per run, newest first — the fleet overview."""
+    if not statuses:
+        return "no runs"
+    head = (
+        f"{'run':<22} {'state':<12} {'live':<6} {'progress':>8} "
+        f"{'done':>6} {'fail':>5} {'eta':>8} {'updated':>14}"
+    )
+    lines = [head, "-" * len(head)]
+    for s in statuses:
+        pct = "-" if s.progress_pct is None else f"{s.progress_pct:.1f}%"
+        lines.append(
+            f"{s.run_id:<22} {s.state:<12} {_live_word(s):<6} {pct:>8} "
+            f"{s.done:>6} {s.failed:>5} {fmt_duration(s.eta_s):>8} "
+            f"{fmt_unix(s.updated_unix):>14}"
+        )
+    return "\n".join(lines)

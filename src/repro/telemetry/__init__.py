@@ -22,7 +22,7 @@ spans are no-ops; metric bumps are a dict hit and a float add.
 from __future__ import annotations
 
 from . import log
-from .cli import add_telemetry_arguments, finish_run, start_run
+from .cli import add_telemetry_arguments, finish_run, progress_mode, start_run
 from .export import chrome_trace, trace_events, write_trace
 from .manifest import RunManifest, default_manifest_path, git_sha
 from .metrics import (
@@ -58,6 +58,7 @@ __all__ = [
     "add_telemetry_arguments",
     "start_run",
     "finish_run",
+    "progress_mode",
     "Span",
     "Instant",
     "Tracer",

@@ -22,11 +22,25 @@ import time
 from typing import Optional
 
 from . import log
+from . import progress as progress_mod
 from .export import write_trace
 from .manifest import RunManifest, default_manifest_path
 from .spans import Tracer
 
-__all__ = ["add_telemetry_arguments", "start_run", "finish_run"]
+__all__ = [
+    "add_telemetry_arguments", "start_run", "finish_run", "progress_mode",
+]
+
+
+def progress_mode(args) -> str:
+    """The effective progress mode for parsed CLI args.
+
+    ``--quiet`` wins over ``--progress`` (quiet means *quiet*), and CLIs
+    written before the flag existed fall back to ``auto``.
+    """
+    if getattr(args, "quiet", False):
+        return "off"
+    return getattr(args, "progress", "auto")
 
 
 def add_telemetry_arguments(ap: argparse.ArgumentParser) -> None:
@@ -39,6 +53,13 @@ def add_telemetry_arguments(ap: argparse.ArgumentParser) -> None:
     g.add_argument(
         "--verbose", action="store_true",
         help="debug-level diagnostics on stderr",
+    )
+    ap.add_argument(
+        "--progress", default="auto", choices=list(progress_mod.MODES),
+        help="sweep progress reporting: 'auto' renders a live line on a "
+             "TTY and nothing otherwise, 'plain' prints periodic progress "
+             "lines even when stderr is redirected (CI logs), 'off' "
+             "disables it (--quiet implies off)",
     )
     ap.add_argument(
         "--trace", default=None, metavar="FILE",

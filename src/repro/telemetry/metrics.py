@@ -26,7 +26,11 @@ protocol); the engine ships each worker's :meth:`~MetricsRegistry
 from __future__ import annotations
 
 import contextlib
+import json
+import os
 import threading
+import time
+from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
 __all__ = [
@@ -42,6 +46,11 @@ __all__ = [
     "counter",
     "gauge",
     "histogram",
+    "SNAPSHOT_SCHEMA",
+    "metrics_dir",
+    "snapshot_path",
+    "write_snapshot_file",
+    "load_snapshot_file",
 ]
 
 #: default boundaries for wall/virtual time observations (seconds),
@@ -270,6 +279,63 @@ def use_registry(reg: Optional[MetricsRegistry] = None):
         yield _REGISTRY
     finally:
         _REGISTRY = prev
+
+
+# -- per-run snapshot files ------------------------------------------------
+#: layout version of the on-disk snapshot document
+SNAPSHOT_SCHEMA = 1
+
+
+def metrics_dir(cache_dir) -> Path:
+    """Where a sweep workdir keeps its per-run metrics snapshots."""
+    return Path(cache_dir) / "metrics"
+
+
+def snapshot_path(cache_dir, run_id: str) -> Path:
+    """The snapshot file for one run under a sweep workdir."""
+    return metrics_dir(cache_dir) / f"{run_id}.json"
+
+
+def write_snapshot_file(
+    cache_dir, run_id: str, snapshot: Optional[dict] = None
+) -> Path:
+    """Atomically persist a registry snapshot for out-of-process readers.
+
+    The engine's heartbeat thread calls this every beat, so a scraper
+    (``repro.obs metrics``) always reads a complete, at-most-one-beat-old
+    document — never a torn write (tmp + ``os.replace``).
+    """
+    path = snapshot_path(cache_dir, run_id)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc = {
+        "schema": SNAPSHOT_SCHEMA,
+        "run_id": run_id,
+        "unix": time.time(),
+        "metrics": snapshot if snapshot is not None else _REGISTRY.snapshot(),
+    }
+    tmp = path.with_suffix(f".tmp.{os.getpid()}")
+    try:
+        with open(tmp, "w") as f:
+            json.dump(doc, f, indent=1, sort_keys=True)
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_snapshot_file(path) -> dict:
+    """Read one snapshot document back; raises on schema mismatch."""
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != SNAPSHOT_SCHEMA:
+        raise ValueError(
+            f"{path}: snapshot schema {doc.get('schema')!r} != {SNAPSHOT_SCHEMA}"
+        )
+    return doc
 
 
 def counter(name: str) -> Counter:

@@ -1,9 +1,15 @@
-"""A live one-line sweep progress meter, TTY-gated.
+"""A live sweep progress meter with TTY, plain, and off modes.
 
-Renders ``units done/total, hits, failures, ETA`` over itself with
-``\\r`` while a sweep runs.  The gate matters more than the paint: when
-stderr is not an interactive terminal (CI, ``2>log``, pipes) the meter
-emits *nothing*, so captured logs and golden outputs stay clean.
+Three modes (``--progress=auto|plain|off``):
+
+* ``auto`` (default) — renders ``units done/total, hits, failures,
+  ETA`` over itself with ``\\r`` on an interactive terminal; when
+  stderr is not a TTY (CI, ``2>log``, pipes) it emits *nothing*, so
+  captured logs and golden outputs stay clean.
+* ``plain`` — periodic full progress *lines* (newline-terminated, one
+  every few seconds) whatever the stream is, so CI logs show a sweep
+  advancing instead of going silent for minutes.
+* ``off`` — nothing, ever.
 
 ETA comes from the rolling mean of recent per-unit completion times
 (window of 32), which tracks warm/cold phase changes much faster than
@@ -18,11 +24,18 @@ import threading
 import time
 from typing import Optional
 
-__all__ = ["ProgressLine"]
+__all__ = ["ProgressLine", "MODES"]
+
+#: accepted progress modes, in CLI order
+MODES = ("auto", "plain", "off")
+
+#: default repaint gap per mode: TTY repaints are cheap, plain lines
+#: accumulate in logs so they are rationed much harder
+_DEFAULT_INTERVAL_S = {"auto": 0.1, "plain": 5.0}
 
 
 class ProgressLine:
-    """One ``\\r``-refreshed status line; inert on non-TTY streams."""
+    """One status line, ``\\r``-refreshed (auto/TTY) or appended (plain)."""
 
     def __init__(
         self,
@@ -31,19 +44,31 @@ class ProgressLine:
         stream=None,
         force: Optional[bool] = None,
         window: int = 32,
-        min_interval_s: float = 0.1,
+        min_interval_s: Optional[float] = None,
+        mode: str = "auto",
     ):
+        if mode not in MODES:
+            raise ValueError(f"unknown progress mode {mode!r}; one of {MODES}")
         self.total = int(total)
         self.label = label
+        self.mode = mode
         self.stream = stream if stream is not None else sys.stderr
         isatty = getattr(self.stream, "isatty", lambda: False)
-        self.enabled = bool(isatty()) if force is None else bool(force)
+        if mode == "off":
+            self.enabled = False
+        elif mode == "plain":
+            self.enabled = True if force is None else bool(force)
+        else:
+            self.enabled = bool(isatty()) if force is None else bool(force)
+        self._min_interval = (
+            min_interval_s if min_interval_s is not None
+            else _DEFAULT_INTERVAL_S.get(mode, 0.1)
+        )
         self.done = 0
         self.hits = 0
         self.failures = 0
         self._durations: list = []
         self._window = window
-        self._min_interval = min_interval_s
         self._last_paint = 0.0
         self._t_start = time.time()
         self._lock = threading.Lock()
@@ -113,22 +138,34 @@ class ProgressLine:
             f"  {self.hits} hit(s)  {self.failures} failed"
             f"  ETA {self._fmt_eta()}"
         )
-        pad = " " * max(0, self._width - len(line))
-        self._width = len(line)
         try:
-            self.stream.write("\r" + line + pad)
+            if self.mode == "plain":
+                self.stream.write(line + "\n")
+            else:
+                pad = " " * max(0, self._width - len(line))
+                self._width = len(line)
+                self.stream.write("\r" + line + pad)
             self.stream.flush()
         except (OSError, ValueError):
             self.enabled = False
 
     def close(self) -> None:
-        """Erase the line so the next writer starts on a clean column."""
-        if not self.enabled or not self._width:
+        """Erase the TTY line (auto) or emit the final total (plain)."""
+        if not self.enabled:
             return
         with self._lock:
             try:
-                self.stream.write("\r" + " " * self._width + "\r")
-                self.stream.flush()
+                if self.mode == "plain":
+                    if self.done:
+                        self.stream.write(
+                            f"{self.label}: finished {self.done}/{self.total} "
+                            f"units  {self.hits} hit(s)  {self.failures} "
+                            "failed\n"
+                        )
+                        self.stream.flush()
+                elif self._width:
+                    self.stream.write("\r" + " " * self._width + "\r")
+                    self.stream.flush()
             except (OSError, ValueError):
                 pass
             self._width = 0

@@ -140,6 +140,69 @@ class TestReplay:
             jmod.load(tmp_path / "nope.jsonl")
 
 
+class TestHeartbeat:
+    def test_record_heartbeat_carries_progress(self, tmp_path):
+        j = RunJournal.create(tmp_path, "run-1")
+        j.record_heartbeat(5.0, done=3, failed=1)
+        hb = [r for r in lines_of(j.path) if r["t"] == "hb"][0]
+        assert hb["interval"] == 5.0
+        assert hb["done"] == 3 and hb["failed"] == 1
+        assert hb["pid"] > 0 and hb["unix"] > 0
+
+    def test_replay_ignores_heartbeats(self, tmp_path):
+        j = RunJournal.create(tmp_path, "run-1")
+        j.record_start("aaa", "MD/cuda")
+        j.record_heartbeat(5.0, done=0, failed=0)
+        j.record_done("aaa")
+        rep = jmod.load(j.path)
+        assert rep.completed == {"aaa"}
+        assert rep.torn_lines == 0  # hb is a known record, not noise
+
+    def test_thread_beats_until_close(self, tmp_path):
+        import time
+
+        j = RunJournal.create(tmp_path, "run-1")
+        flushes = []
+        assert j.start_heartbeat(
+            0.02, stats_fn=lambda: {"done": 7}, flush_fn=lambda: flushes.append(1)
+        )
+        deadline = time.time() + 5.0
+        while time.time() < deadline:
+            if any(r["t"] == "hb" for r in lines_of(j.path)):
+                break
+            time.sleep(0.02)
+        j.close("complete")
+        beats = [r for r in lines_of(j.path) if r["t"] == "hb"]
+        assert beats and beats[0]["done"] == 7
+        assert flushes  # at minimum the final close-time flush ran
+        # the thread is stopped: no beats land after close
+        n = len(beats)
+        time.sleep(0.1)
+        assert len([r for r in lines_of(j.path) if r["t"] == "hb"]) == n
+
+    def test_zero_interval_disables_thread(self, tmp_path):
+        j = RunJournal.create(tmp_path, "run-1")
+        assert not j.start_heartbeat(0)
+        assert j._hb_thread is None
+        j.close("complete")
+
+    def test_start_is_idempotent(self, tmp_path):
+        j = RunJournal.create(tmp_path, "run-1")
+        assert j.start_heartbeat(60.0)
+        first = j._hb_thread
+        assert not j.start_heartbeat(60.0)
+        assert j._hb_thread is first
+        j.close("complete")
+
+    def test_heartbeat_interval_env_override(self, monkeypatch):
+        monkeypatch.delenv("REPRO_HEARTBEAT_S", raising=False)
+        assert jmod.heartbeat_interval() == jmod.DEFAULT_HEARTBEAT_S
+        monkeypatch.setenv("REPRO_HEARTBEAT_S", "0.25")
+        assert jmod.heartbeat_interval() == 0.25
+        monkeypatch.setenv("REPRO_HEARTBEAT_S", "bogus")
+        assert jmod.heartbeat_interval() == jmod.DEFAULT_HEARTBEAT_S
+
+
 class TestResumeResolution:
     def test_latest_resumable_picks_newest_incomplete(self, tmp_path):
         import os

@@ -1,0 +1,95 @@
+"""Critical-path attribution: interval union, shares, top spans, diff."""
+import json
+
+import pytest
+
+from repro.obs import critpath as cp
+
+US = 1e6
+
+
+def ev(name, cat, t0_s, dur_s):
+    return {"name": name, "cat": cat, "ph": "X",
+            "ts": t0_s * US, "dur": dur_s * US}
+
+
+def trace():
+    return [
+        {"name": "process_name", "ph": "M", "args": {"name": "x"}},
+        ev("sweep", "engine", 0.0, 10.0),
+        # two overlapping worker slices: 2s of wall, not 3s of CPU
+        ev("unit-a", "unit", 1.0, 2.0),
+        ev("unit-b", "unit", 2.0, 1.0),
+        ev("put", "cache", 4.0, 0.5),
+        {"name": "fault", "cat": "fault", "ph": "i", "ts": 5.0 * US},
+    ]
+
+
+class TestAnalyze:
+    def test_busy_is_union_not_sum(self):
+        result = cp.analyze(trace())
+        by = {c["cat"]: c for c in result["categories"]}
+        assert by["unit"]["busy_s"] == pytest.approx(2.0)
+        assert by["unit"]["slices"] == 2
+        assert by["engine"]["busy_s"] == pytest.approx(10.0)
+        assert by["cache"]["busy_s"] == pytest.approx(0.5)
+
+    def test_wall_and_shares(self):
+        result = cp.analyze(trace())
+        assert result["wall_s"] == pytest.approx(10.0)
+        by = {c["cat"]: c for c in result["categories"]}
+        assert by["unit"]["share"] == pytest.approx(0.2)
+        assert result["instants"] == 1
+        assert result["slices"] == 4
+
+    def test_top_spans_longest_first(self):
+        result = cp.analyze(trace(), top=2)
+        assert [s["name"] for s in result["top_spans"]] == ["sweep", "unit-a"]
+
+    def test_categories_sorted_by_busy_desc(self):
+        cats = [c["cat"] for c in cp.analyze(trace())["categories"]]
+        assert cats == ["engine", "unit", "cache"]
+
+    def test_empty_trace(self):
+        result = cp.analyze([])
+        assert result["wall_s"] == 0.0 and result["categories"] == []
+
+
+class TestDiff:
+    def test_per_category_delta_and_ratio(self):
+        base = cp.analyze(trace())
+        slower = trace() + [ev("put2", "cache", 6.0, 1.5)]
+        rows = cp.diff(base, cp.analyze(slower))
+        by = {r["cat"]: r for r in rows}
+        assert by["cache"]["delta_s"] == pytest.approx(1.5)
+        assert by["cache"]["ratio"] == pytest.approx(4.0)
+        assert by["engine"]["delta_s"] == pytest.approx(0.0)
+
+    def test_category_only_on_one_side(self):
+        base = cp.analyze([ev("a", "engine", 0, 1)])
+        cur = cp.analyze([ev("b", "launch", 0, 2)])
+        by = {r["cat"]: r for r in cp.diff(base, cur)}
+        assert by["engine"]["current_s"] == 0.0
+        assert by["launch"]["ratio"] is None
+
+
+class TestLoadTrace:
+    def test_reads_chrome_trace_document(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps({"traceEvents": trace()}))
+        assert len(cp.load_trace(path)) == len(trace())
+
+    def test_bare_event_list_accepted(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(trace()))
+        assert len(cp.load_trace(path)) == len(trace())
+
+    def test_non_trace_rejected(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text('{"not": "a trace"}')
+        with pytest.raises(ValueError, match="traceEvents"):
+            cp.load_trace(path)
+
+    def test_render_smoke(self):
+        text = cp.render(cp.analyze(trace()), label="t")
+        assert "critpath[t]" in text and "engine" in text

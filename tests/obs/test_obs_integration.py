@@ -1,0 +1,90 @@
+"""End-to-end: a real sweep's artifacts drive the whole obs surface.
+
+Runs actual work units through :class:`SweepExecutor` with a journal
+attached (the heartbeat thread starts automatically), then observes the
+run purely through what landed on disk — journal, metrics snapshot —
+the way ``python -m repro.obs`` would from another process.
+"""
+import pytest
+
+from repro import exec as rexec
+from repro.arch.specs import GTX480
+from repro.exec.journal import RunJournal
+from repro.obs import RunTracker, find_run
+from repro.obs import openmetrics as om
+from repro.obs.__main__ import main as obs_main
+from repro.telemetry import metrics as tmetrics
+
+UNITS = [
+    rexec.make_unit("TranP", "cuda", GTX480, "small"),
+    rexec.make_unit("TranP", "opencl", GTX480, "small"),
+]
+
+
+@pytest.fixture
+def swept(tmp_path, monkeypatch):
+    # a long interval: the thread exists but beats stay quiet, so the
+    # journal contents (and this test) are scheduling-independent; the
+    # close-time flush still writes the metrics snapshot
+    monkeypatch.setenv("REPRO_HEARTBEAT_S", "60")
+    j = RunJournal.create(tmp_path, "itest", command="repro.test")
+    ex = rexec.SweepExecutor(cache=tmp_path, progress="off", journal=j)
+    with rexec.use_executor(ex):
+        ex.prewarm(UNITS)
+    j.close("complete")
+    return tmp_path
+
+
+def test_status_reflects_the_sweep(swept):
+    s = find_run(swept, "itest").status()
+    assert s.state == "complete"
+    assert s.done == len(UNITS)
+    assert s.failed == 0 and s.in_flight == 0
+    assert s.progress_pct == 100.0
+    assert s.torn_lines == 0
+
+
+def test_metrics_snapshot_flushed_and_exports(swept):
+    doc = tmetrics.load_snapshot_file(tmetrics.snapshot_path(swept, "itest"))
+    assert doc["run_id"] == "itest"
+    text = om.render(doc["metrics"], run_id="itest")
+    assert om.lint(text) == []
+    assert "repro_exec_serve_run_total" in text
+
+
+def test_obs_cli_against_real_artifacts(swept, capsys):
+    assert obs_main(["ls", "--cache-dir", str(swept)]) == 0
+    assert obs_main(
+        ["status", "--latest", "--once", "--cache-dir", str(swept)]
+    ) == 0
+    assert obs_main(
+        ["metrics", "itest", "--check", "--cache-dir", str(swept)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "itest" in out and "# EOF" in out
+
+
+def test_status_of_live_heartbeating_run(tmp_path, monkeypatch):
+    # fast beats: observe the run as live while the journal is open
+    monkeypatch.setenv("REPRO_HEARTBEAT_S", "0.05")
+    import time
+
+    j = RunJournal.create(tmp_path, "live", command="repro.test")
+    ex = rexec.SweepExecutor(cache=tmp_path, progress="off", journal=j)
+    try:
+        with rexec.use_executor(ex):
+            ex.prewarm(UNITS[:1])
+        deadline = time.time() + 5.0
+        tracker = RunTracker(j.path)
+        while time.time() < deadline:
+            s = tracker.poll().status()
+            if s.live and s.heartbeat_interval_s == 0.05:
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("no fresh heartbeat observed within 5s")
+        assert s.state == "running"
+    finally:
+        j.close("complete")
+    s = RunTracker(j.path).poll().status()
+    assert s.state == "complete" and s.live is None

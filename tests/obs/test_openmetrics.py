@@ -1,0 +1,90 @@
+"""OpenMetrics rendering: mapping rules, determinism, and the linter."""
+from repro.obs import openmetrics as om
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def sample_snapshot():
+    reg = MetricsRegistry()
+    reg.counter("cache.puts").inc(32)
+    g = reg.gauge("pool.pending")
+    g.set(7)
+    g.set(3)
+    h = reg.histogram("unit_s", (0.1, 1.0))
+    for v in (0.05, 0.5, 0.5, 5.0):
+        h.observe(v)
+    return reg.snapshot()
+
+
+class TestRender:
+    def test_counter_gets_total_suffix(self):
+        text = om.render(sample_snapshot(), run_id="r1")
+        assert "# TYPE repro_cache_puts_total counter" in text
+        assert 'repro_cache_puts_total{run_id="r1"} 32' in text
+
+    def test_gauge_renders_value_and_high_water_mark(self):
+        text = om.render(sample_snapshot(), run_id="r1")
+        assert 'repro_pool_pending{run_id="r1"} 3' in text
+        assert 'repro_pool_pending_max{run_id="r1"} 7' in text
+
+    def test_histogram_buckets_cumulative_with_inf_sum_count(self):
+        text = om.render(sample_snapshot(), run_id="r1")
+        assert 'repro_unit_s_bucket{run_id="r1",le="0.1"} 1' in text
+        assert 'repro_unit_s_bucket{run_id="r1",le="1"} 3' in text
+        assert 'repro_unit_s_bucket{run_id="r1",le="+Inf"} 4' in text
+        assert 'repro_unit_s_sum{run_id="r1"} 6.05' in text
+        assert 'repro_unit_s_count{run_id="r1"} 4' in text
+
+    def test_families_sorted_and_terminated(self):
+        text = om.render(sample_snapshot(), run_id="r1")
+        assert text.endswith("# EOF\n")
+        families = [
+            line.split()[2] for line in text.splitlines()
+            if line.startswith("# TYPE ")
+        ]
+        assert families == sorted(families)
+
+    def test_byte_deterministic(self):
+        a = om.render(sample_snapshot(), run_id="r1")
+        b = om.render(sample_snapshot(), run_id="r1")
+        assert a == b
+
+    def test_metric_name_sanitised(self):
+        assert om.metric_name("journal.append_s") == "repro_journal_append_s"
+        assert om.metric_name("weird metric!") == "repro_weird_metric_"
+
+    def test_run_id_label_escaped(self):
+        text = om.render(sample_snapshot(), run_id='r"1\\x')
+        assert 'run_id="r\\"1\\\\x"' in text
+
+
+class TestLint:
+    def test_rendered_output_lints_clean(self):
+        assert om.lint(om.render(sample_snapshot(), run_id="r1")) == []
+
+    def test_missing_eof(self):
+        text = om.render(sample_snapshot(), run_id="r1")
+        problems = om.lint(text.replace("# EOF\n", ""))
+        assert any("EOF" in p for p in problems)
+
+    def test_duplicate_family_flagged(self):
+        text = (
+            "# HELP repro_x_total c\n# TYPE repro_x_total counter\n"
+            "repro_x_total 1\n"
+            "# HELP repro_x_total c\n# TYPE repro_x_total counter\n"
+            "repro_x_total 2\n# EOF"
+        )
+        assert any("duplicate" in p for p in om.lint(text))
+
+    def test_undeclared_sample_flagged(self):
+        text = "repro_orphan_total 1\n# EOF"
+        assert any("undeclared" in p for p in om.lint(text))
+
+    def test_non_cumulative_buckets_flagged(self):
+        text = (
+            "# HELP repro_h h\n# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 5\n'
+            'repro_h_bucket{le="2"} 3\n'  # shrank: not cumulative
+            'repro_h_bucket{le="+Inf"} 5\n'
+            "repro_h_sum 1\nrepro_h_count 5\n# EOF"
+        )
+        assert any("cumulative" in p for p in om.lint(text))

@@ -59,6 +59,51 @@ class TestProgressLine:
         assert p.done == 1 and p.failures == 2
 
 
+class TestProgressModes:
+    def test_plain_mode_emits_lines_without_a_tty(self):
+        buf = io.StringIO()
+        p = ProgressLine(2, stream=buf, mode="plain", min_interval_s=0.0)
+        assert p.enabled  # plain works for CI logs: no TTY required
+        p.tick(seconds=0.1)
+        p.tick(hit=True, seconds=0.1)
+        p.close()
+        lines = buf.getvalue().splitlines()
+        assert "\r" not in buf.getvalue()
+        assert "sweep: 1/2 units" in lines[0]
+        assert lines[-1].startswith("sweep: finished 2/2 units")
+
+    def test_plain_mode_rations_repaints(self):
+        buf = io.StringIO()
+        p = ProgressLine(100, stream=buf, mode="plain", min_interval_s=3600.0)
+        for _ in range(50):
+            p.tick()
+        # one initial paint; the rest are rate-limited out of the log
+        assert buf.getvalue().count("\n") == 1
+
+    def test_off_mode_emits_nothing_even_on_tty(self):
+        buf = _Tty()
+        p = ProgressLine(2, stream=buf, mode="off")
+        assert not p.enabled
+        p.tick()
+        p.close()
+        assert buf.getvalue() == ""
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown progress mode"):
+            ProgressLine(1, mode="fancy")
+
+    def test_progress_mode_resolution(self):
+        import argparse
+
+        from repro.telemetry import progress_mode
+
+        ns = argparse.Namespace(progress="plain", quiet=False)
+        assert progress_mode(ns) == "plain"
+        ns = argparse.Namespace(progress="plain", quiet=True)
+        assert progress_mode(ns) == "off"  # --quiet beats --progress
+        assert progress_mode(argparse.Namespace()) == "auto"
+
+
 class TestLogger:
     def test_threshold_gates_output(self, capsys):
         tlog.set_verbosity(quiet=True)
