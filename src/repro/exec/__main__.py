@@ -14,7 +14,13 @@ only artifacts that are provably dead:
   everything from cache.  Journals of running/interrupted runs are
   never touched — their in-flight set is exactly what resume needs.
 * **tmp corpses** — pid-suffixed ``*.tmp.*`` files orphaned by killed
-  writers, in the cache shards, the metrics dir, and the journal dir.
+  writers, in the cache shards, the metrics dir, the journal dir, and
+  the daemon's ``serve/`` state dir.
+* **stale metrics snapshots** — per-run ``metrics/<run-id>.json``
+  liveness snapshots exist so :mod:`repro.obs` can watch a run from
+  outside the process; once the run's journal is terminal (and hence
+  compacted), or the journal is gone and the snapshot has outlived
+  ``--max-age`` days, the snapshot is dead weight and is pruned.
 * **stale quarantine** — corrupt entries preserved for post-mortem are
   pruned (with their ``.reason`` sidecars) once older than
   ``--max-age`` days (default 7): by then nobody is coming to look.
@@ -104,6 +110,31 @@ def _compact_journal(path: Path, dry_run: bool) -> int:
     return reclaimed
 
 
+def _journal_state(path: Path):
+    """The terminal state a journal replays to, or None when unreadable.
+
+    Returns ``"running"`` for a journal with no terminal ``state``
+    record — such a run may still be live (or resumable), and nothing
+    derived from it may be pruned.
+    """
+    try:
+        raw = path.read_text()
+    except OSError:
+        return None
+    state = "running"
+    for line in raw.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except ValueError:
+            continue
+        if rec.get("t") == "state":
+            state = rec.get("state", state)
+    return state
+
+
 def _unlink(path: Path, dry_run: bool) -> int:
     size = _size(path)
     if dry_run:
@@ -134,6 +165,8 @@ def gc_run(
         "journal_bytes": 0,
         "tmp_removed": 0,
         "tmp_bytes": 0,
+        "metrics_removed": 0,
+        "metrics_bytes": 0,
         "quarantine_removed": 0,
         "quarantine_bytes": 0,
     }
@@ -153,7 +186,8 @@ def gc_run(
     # names carry the writer's pid; this process's own are skipped.
     own = f".tmp.{os.getpid()}"
     for pattern in (
-        "[0-9a-f][0-9a-f]/*.tmp.*", "metrics/*.tmp.*", "journal/*.tmp.*"
+        "[0-9a-f][0-9a-f]/*.tmp.*", "metrics/*.tmp.*", "journal/*.tmp.*",
+        "serve/*.tmp.*", "serve/err/*.tmp.*",
     ):
         for tmp in sorted(root.glob(pattern)):
             if tmp.name.endswith(own):
@@ -163,7 +197,35 @@ def gc_run(
                 report["tmp_removed"] += 1
                 report["tmp_bytes"] += freed
 
-    # 3. prune quarantine entries past the triage window
+    # 3. prune metrics snapshots of runs that are over.  A snapshot is
+    # only useful while repro.obs might watch the run live; "over"
+    # means its journal replays to a terminal state (the same rule that
+    # makes the journal itself compactable), or the journal is gone
+    # entirely and the snapshot has sat untouched past --max-age (a
+    # journalless writer — e.g. the serve daemon's liveness snapshot —
+    # refreshes its mtime every beat while alive).
+    mdir = root / "metrics"
+    if mdir.is_dir():
+        cutoff = now - max_age_days * 86400.0
+        for snap in sorted(mdir.glob("*.json")):
+            jpath = journal_mod.journal_dir(root) / f"{snap.stem}.jsonl"
+            state = _journal_state(jpath)
+            if state is None:
+                try:
+                    aged = snap.stat().st_mtime <= cutoff
+                except OSError:
+                    continue
+                prune = aged
+            else:
+                prune = state in _TERMINAL
+            if not prune:
+                continue
+            freed = _unlink(snap, dry_run)
+            if freed or dry_run:
+                report["metrics_removed"] += 1
+                report["metrics_bytes"] += freed
+
+    # 4. prune quarantine entries past the triage window
     qdir = root / "quarantine"
     if qdir.is_dir():
         cutoff = now - max_age_days * 86400.0
@@ -181,7 +243,7 @@ def gc_run(
 
     report["bytes_reclaimed"] = (
         report["journal_bytes"] + report["tmp_bytes"]
-        + report["quarantine_bytes"]
+        + report["metrics_bytes"] + report["quarantine_bytes"]
     )
     return report
 
@@ -194,6 +256,8 @@ def render_gc(report: dict) -> str:
         f"{report['journal_bytes']} bytes",
         f"  tmp:        {report['tmp_removed']} corpse(s), "
         f"{report['tmp_bytes']} bytes",
+        f"  metrics:    {report.get('metrics_removed', 0)} snapshot(s), "
+        f"{report.get('metrics_bytes', 0)} bytes",
         f"  quarantine: {report['quarantine_removed']} entr(ies), "
         f"{report['quarantine_bytes']} bytes",
         f"  reclaimed:  {report.get('bytes_reclaimed', 0)} bytes",

@@ -76,9 +76,30 @@ from . import journal as journal_mod
 from .cache import ResultCache, result_from_json, result_to_json
 from .unit import UnitResult, WorkUnit, execute, unit_digest
 
-__all__ = ["SweepExecutor", "SweepStats", "UnitRecord", "FailedUnit"]
+__all__ = ["SweepExecutor", "SweepStats", "UnitRecord", "FailedUnit", "retry_delay"]
 
 _POOL_ERRORS = (OSError, concurrent.futures.BrokenExecutor, RuntimeError)
+
+
+def retry_delay(backoff: float, attempt: int, digest: str = "") -> float:
+    """Exponential backoff with deterministic, digest-seeded jitter.
+
+    Concurrent tenants retrying the same transient at the same moment
+    would otherwise thundering-herd the pool: every unit of a round
+    sleeps ``backoff * 2**(attempt-1)`` and they all wake together.
+    The jitter spreads wakeups over ``[0.5, 1.5)`` of the exponential
+    term, seeded from ``(digest, attempt)`` via SHA-256 — a pure
+    function, so the same unit always sleeps the same amount and chaos
+    tests stay exactly reproducible (no RNG state anywhere).
+    """
+    import hashlib
+
+    base = max(0.0, float(backoff)) * (2 ** max(0, attempt - 1))
+    if not digest:
+        return base
+    blob = f"retry:{digest}:{attempt}".encode()
+    frac = int(hashlib.sha256(blob).hexdigest()[:8], 16) / float(1 << 32)
+    return base * (0.5 + frac)
 
 
 def _pool_worker_init() -> None:
@@ -630,7 +651,7 @@ class SweepExecutor:
             except Exception as e:
                 kind = classify(e)
                 if kind is FailureKind.TRANSIENT and attempt <= self.retries:
-                    delay = self.backoff * (2 ** (attempt - 1))
+                    delay = retry_delay(self.backoff, attempt, digest)
                     metrics.counter("exec.retries").inc()
                     tspans.event(
                         "retry.backoff", "unit", label=unit.label(),
@@ -792,8 +813,11 @@ class SweepExecutor:
             if self.demoted:
                 return  # leftovers run on the sequential path
             if retry:
-                worst = max(attempts[d] for d in retry)
-                time.sleep(self.backoff * (2 ** max(0, worst - 1)))
+                # one jittered sleep for the round, seeded from the unit
+                # that has retried longest, so concurrent sweeps sharing
+                # a pool de-synchronize instead of herding
+                worst_d = max(retry, key=lambda d: attempts[d])
+                time.sleep(retry_delay(self.backoff, attempts[worst_d], worst_d))
             pending = retry
         # leftovers (pathological pool churn) fall back to the
         # sequential path in prewarm(), which quarantine-guards them

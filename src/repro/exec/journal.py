@@ -65,17 +65,42 @@ JOURNAL_SCHEMA = 2
 RUN_STATES = ("complete", "interrupted", "failed")
 
 #: default seconds between heartbeat records ($REPRO_HEARTBEAT_S
-#: overrides; 0 disables the thread entirely)
+#: overrides; invalid or non-positive values fall back here with a
+#: warning — liveness monitoring and lease TTLs both derive from this
+#: interval, so "disabled" is not a state the env var can express)
 DEFAULT_HEARTBEAT_S = 5.0
+
+#: raw $REPRO_HEARTBEAT_S values already warned about (once per value,
+#: not once per call — the interval is consulted on every run start)
+_HB_WARNED: set = set()
 
 
 def heartbeat_interval() -> float:
-    """The configured heartbeat period, from ``$REPRO_HEARTBEAT_S``."""
+    """The configured heartbeat period, from ``$REPRO_HEARTBEAT_S``.
+
+    Hardened: a value that does not parse as a float, or is not
+    strictly positive (NaN included), warns once and falls back to
+    :data:`DEFAULT_HEARTBEAT_S` instead of silently disabling the
+    liveness signal every staleness rule in :mod:`repro.obs` and
+    :mod:`repro.serve` is built on.
+    """
     raw = os.environ.get("REPRO_HEARTBEAT_S", "")
-    try:
-        return float(raw) if raw else DEFAULT_HEARTBEAT_S
-    except ValueError:
+    if not raw:
         return DEFAULT_HEARTBEAT_S
+    try:
+        value = float(raw)
+    except ValueError:
+        value = float("nan")
+    if value > 0:
+        return value
+    if raw not in _HB_WARNED:
+        _HB_WARNED.add(raw)
+        log.warn(
+            "journal.heartbeat_env",
+            f"ignoring REPRO_HEARTBEAT_S={raw!r} (need a positive "
+            f"number); using the default {DEFAULT_HEARTBEAT_S:g}s",
+        )
+    return DEFAULT_HEARTBEAT_S
 
 
 def journal_dir(cache_dir) -> Path:

@@ -1,0 +1,113 @@
+"""Lease-fenced dispatch: who may execute a unit, and for how long.
+
+A **lease** is the daemon's grant of one work unit to one worker.  It
+carries a **fencing token** — a monotonically increasing integer that
+is never reused, not even across daemon restarts (the WAL replay
+raises the floor past every token it has ever seen).  Completion is
+only accepted under the token of the *current* lease; a worker whose
+lease was reclaimed (because its heartbeat went stale, or because the
+daemon restarted) can still finish and durably write its result to the
+content-addressed cache — that write is idempotent and byte-identical —
+but its late ``done`` report is *fenced*: rejected, journaled, and
+harmless.  This is what makes "zero lost, zero duplicated" hold under
+``kill -9`` of any participant.
+
+Liveness uses the same rule :mod:`repro.obs` applies to sweep
+journals: a lease whose holder has not renewed within
+``STALE_BEATS`` (3) heartbeat intervals is presumed dead and reclaimed
+(:data:`~repro.obs.registry.STALE_BEATS`).
+"""
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Optional
+
+from ..obs.registry import STALE_BEATS
+
+__all__ = ["Lease", "LeaseManager", "default_ttl"]
+
+
+def default_ttl(heartbeat_interval: float) -> float:
+    """Lease time-to-live: the obs liveness rule, 3x the beat period."""
+    return STALE_BEATS * max(0.1, float(heartbeat_interval))
+
+
+@dataclasses.dataclass
+class Lease:
+    """One live grant: (digest, fencing token, deadline)."""
+
+    digest: str
+    token: int
+    attempt: int
+    acquired: float
+    deadline: float
+    #: worker process pid, once known (diagnostics only — fencing never
+    #: trusts pids, which the OS recycles)
+    pid: Optional[int] = None
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        return (time.monotonic() if now is None else now) > self.deadline
+
+
+class LeaseManager:
+    """Issues, renews, releases, and reaps leases.  Not thread-safe by
+    itself — the daemon serializes every call under its state lock."""
+
+    def __init__(self, ttl: float, floor: int = 1):
+        self.ttl = float(ttl)
+        #: next token to issue; strictly greater than every token ever
+        #: journaled (the WAL replay supplies the floor on restart)
+        self._next = max(1, int(floor))
+        self._by_digest: dict = {}  # digest -> Lease
+
+    def __len__(self) -> int:
+        return len(self._by_digest)
+
+    def active(self) -> list:
+        return list(self._by_digest.values())
+
+    def holder(self, digest: str) -> Optional[Lease]:
+        return self._by_digest.get(digest)
+
+    def acquire(self, digest: str, attempt: int) -> Lease:
+        """Grant a fresh lease on ``digest`` under a brand-new token."""
+        if digest in self._by_digest:
+            raise RuntimeError(f"digest {digest[:8]} is already leased")
+        now = time.monotonic()
+        lease = Lease(
+            digest=digest, token=self._next, attempt=attempt,
+            acquired=now, deadline=now + self.ttl,
+        )
+        self._next += 1
+        self._by_digest[digest] = lease
+        return lease
+
+    def renew(self, digest: str, token: int) -> bool:
+        """Push the deadline out one TTL; False if the token is stale."""
+        lease = self._by_digest.get(digest)
+        if lease is None or lease.token != token:
+            return False
+        lease.deadline = time.monotonic() + self.ttl
+        return True
+
+    def release(self, digest: str, token: Optional[int]) -> bool:
+        """Drop the lease iff ``token`` is the current grant.
+
+        Returns False — the *fencing* verdict — when the lease was
+        already reclaimed or reassigned: the caller's completion is
+        late and must not be applied.
+        """
+        lease = self._by_digest.get(digest)
+        if lease is None or token is None or lease.token != token:
+            return False
+        del self._by_digest[digest]
+        return True
+
+    def reclaim_expired(self, now: Optional[float] = None) -> list:
+        """Remove and return every lease past its deadline."""
+        now = time.monotonic() if now is None else now
+        dead = [l for l in self._by_digest.values() if l.expired(now)]
+        for lease in dead:
+            del self._by_digest[lease.digest]
+        return dead

@@ -73,13 +73,29 @@ _BATCH_LANES = 32768
 _BATCH_CAP = 64
 
 
+#: raw $REPRO_SIM_BATCH values already warned about (warn once per
+#: value; this helper runs on every kernel launch)
+_BATCH_ENV_WARNED: set = set()
+
+
 def _batch_size(width: int, blocks: int) -> int:
     env = os.environ.get("REPRO_SIM_BATCH")
     if env:
         try:
-            return max(1, min(int(env), blocks))
+            forced = int(env)
         except ValueError:
-            pass
+            forced = 0
+        if forced > 0:
+            return max(1, min(forced, blocks))
+        if env not in _BATCH_ENV_WARNED:
+            _BATCH_ENV_WARNED.add(env)
+            from ..telemetry import log
+
+            log.warn(
+                "sim.batch_env",
+                f"ignoring REPRO_SIM_BATCH={env!r} (need a positive "
+                "integer); using the lane-budget default",
+            )
     return max(1, min(_BATCH_CAP, _BATCH_LANES // max(width, 1), blocks))
 
 

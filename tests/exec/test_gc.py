@@ -120,6 +120,65 @@ class TestCorpsesAndQuarantine:
         ] == 1
 
 
+class TestMetricsSnapshots:
+    def make_snapshot(self, tmp_path, run_id):
+        mdir = tmp_path / "metrics"
+        mdir.mkdir(exist_ok=True)
+        snap = mdir / f"{run_id}.json"
+        snap.write_text('{"metrics": {}}')
+        return snap
+
+    def test_terminal_run_snapshot_pruned(self, tmp_path):
+        make_journal(tmp_path, "fin", state="complete")
+        snap = self.make_snapshot(tmp_path, "fin")
+        report = gc_run(tmp_path)
+        assert report["metrics_removed"] == 1
+        assert report["metrics_bytes"] > 0
+        assert report["bytes_reclaimed"] >= report["metrics_bytes"]
+        assert not snap.exists()
+
+    def test_live_run_snapshot_spared(self, tmp_path):
+        # no terminal state record: the run may still be watched live
+        make_journal(tmp_path, "live")
+        snap = self.make_snapshot(tmp_path, "live")
+        report = gc_run(tmp_path)
+        assert report["metrics_removed"] == 0
+        assert snap.exists()
+
+    def test_journalless_snapshot_ages_out(self, tmp_path):
+        # e.g. the serve daemon's liveness snapshot after the daemon is
+        # long gone (its journal-free run-id never had a journal)
+        snap = self.make_snapshot(tmp_path, "serve")
+        past = time.time() - (DEFAULT_MAX_AGE_DAYS + 1) * 86400
+        os.utime(snap, (past, past))
+        report = gc_run(tmp_path)
+        assert report["metrics_removed"] == 1
+        assert not snap.exists()
+
+    def test_journalless_fresh_snapshot_spared(self, tmp_path):
+        # a live daemon refreshes its snapshot's mtime every heartbeat
+        snap = self.make_snapshot(tmp_path, "serve")
+        report = gc_run(tmp_path)
+        assert report["metrics_removed"] == 0
+        assert snap.exists()
+
+    def test_dry_run_spares_snapshots_but_reports(self, tmp_path):
+        make_journal(tmp_path, "fin", state="complete")
+        snap = self.make_snapshot(tmp_path, "fin")
+        report = gc_run(tmp_path, dry_run=True)
+        assert report["metrics_removed"] == 1
+        assert snap.exists()
+
+    def test_serve_tmp_corpses_swept(self, tmp_path):
+        sdir = tmp_path / "serve" / "err"
+        sdir.mkdir(parents=True)
+        (tmp_path / "serve" / "endpoint.tmp.99999").write_text("x")
+        (sdir / "7.tmp.99999").write_text("y")
+        report = gc_run(tmp_path)
+        assert report["tmp_removed"] == 2
+        assert not (sdir / "7.tmp.99999").exists()
+
+
 class TestDryRunAndCli:
     def test_dry_run_reports_without_deleting(self, tmp_path):
         j = make_journal(tmp_path, "fin", state="complete")

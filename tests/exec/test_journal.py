@@ -202,6 +202,22 @@ class TestHeartbeat:
         monkeypatch.setenv("REPRO_HEARTBEAT_S", "bogus")
         assert jmod.heartbeat_interval() == jmod.DEFAULT_HEARTBEAT_S
 
+    def test_heartbeat_interval_rejects_non_positive(self, monkeypatch):
+        # liveness (and serve lease TTLs) derive from this interval, so
+        # zero/negative/NaN must fall back to the default, not disable
+        for bad in ("0", "-3", "0.0", "nan", "-inf"):
+            monkeypatch.setenv("REPRO_HEARTBEAT_S", bad)
+            assert jmod.heartbeat_interval() == jmod.DEFAULT_HEARTBEAT_S
+
+    def test_heartbeat_interval_warns_once_per_value(self, monkeypatch, capsys):
+        jmod._HB_WARNED.discard("-7")
+        monkeypatch.setenv("REPRO_HEARTBEAT_S", "-7")
+        assert jmod.heartbeat_interval() == jmod.DEFAULT_HEARTBEAT_S
+        first = capsys.readouterr().err
+        assert "REPRO_HEARTBEAT_S" in first
+        assert jmod.heartbeat_interval() == jmod.DEFAULT_HEARTBEAT_S
+        assert "REPRO_HEARTBEAT_S" not in capsys.readouterr().err
+
 
 class TestResumeResolution:
     def test_latest_resumable_picks_newest_incomplete(self, tmp_path):

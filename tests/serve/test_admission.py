@@ -1,0 +1,83 @@
+"""Admission control: quota verdicts, status mapping, breaker lifecycle."""
+from repro.serve.admission import (
+    REJECT_QUOTA,
+    AdmissionVerdict,
+    BreakerBoard,
+    CircuitBreaker,
+    TenantQuota,
+)
+
+
+class TestTenantQuota:
+    def test_within_quota_admits(self):
+        q = TenantQuota(max_outstanding=4)
+        assert q.admit(outstanding=2, new=2).ok
+
+    def test_over_quota_rejects_with_429(self):
+        q = TenantQuota(max_outstanding=4)
+        v = q.admit(outstanding=3, new=2)
+        assert not v.ok
+        assert v.reason == REJECT_QUOTA
+        assert v.status == 429
+        assert "max_outstanding" in v.detail
+
+    def test_non_quota_rejections_map_to_503(self):
+        assert AdmissionVerdict(False, "backpressure").status == 503
+        assert AdmissionVerdict(False, "breaker_open").status == 503
+        assert AdmissionVerdict(False, "draining").status == 503
+        assert AdmissionVerdict(True).status == 200
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_consecutive_failures(self):
+        b = CircuitBreaker(threshold=3, cooldown=30.0)
+        assert not b.record_failure(now=0.0)
+        assert not b.record_failure(now=1.0)
+        assert b.record_failure(now=2.0)  # third consecutive: trips
+        assert b.state == b.OPEN
+        assert not b.allows(now=2.5)
+
+    def test_success_resets_the_consecutive_count(self):
+        b = CircuitBreaker(threshold=2)
+        b.record_failure(now=0.0)
+        b.record_success()
+        assert not b.record_failure(now=1.0)  # count restarted
+        assert b.state == b.CLOSED
+
+    def test_cooldown_half_opens_then_success_closes(self):
+        b = CircuitBreaker(threshold=1, cooldown=10.0)
+        assert b.record_failure(now=0.0)
+        assert not b.allows(now=5.0)  # still cooling
+        assert b.allows(now=10.0)  # half-open: probe traffic admitted
+        assert b.state == b.HALF_OPEN
+        b.record_success()
+        assert b.state == b.CLOSED
+
+    def test_half_open_failure_reopens_immediately(self):
+        b = CircuitBreaker(threshold=3, cooldown=10.0)
+        for t in (0.0, 1.0, 2.0):
+            b.record_failure(now=t)
+        assert b.allows(now=12.0)
+        assert b.record_failure(now=12.5)  # one strike in half-open
+        assert b.state == b.OPEN
+        assert b.trips == 2
+
+    def test_as_dict_reports_cooldown_remaining(self):
+        b = CircuitBreaker(threshold=1, cooldown=10.0)
+        b.record_failure(now=0.0)
+        d = b.as_dict(now=4.0)
+        assert d["state"] == "open"
+        assert d["cooldown_remaining_s"] == 6.0
+
+
+class TestBreakerBoard:
+    def test_breakers_are_per_device_and_on_demand(self):
+        board = BreakerBoard(threshold=1, cooldown=30.0)
+        board.get("GTX480").record_failure(now=0.0)
+        assert board.open_devices(["GTX480", "HD5870"], now=1.0) == ["GTX480"]
+        assert board.get("HD5870").state == "closed"
+
+    def test_as_dict_covers_every_known_device(self):
+        board = BreakerBoard()
+        board.get("GTX480")
+        assert list(board.as_dict()) == ["GTX480"]

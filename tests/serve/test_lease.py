@@ -1,0 +1,78 @@
+"""Lease fencing: monotonic tokens, renewal, reclaim, late-holder rejection."""
+import pytest
+
+from repro.obs.registry import STALE_BEATS
+from repro.serve.lease import LeaseManager, default_ttl
+
+
+class TestLeaseManager:
+    def test_tokens_are_monotonic_and_never_reused(self):
+        lm = LeaseManager(ttl=10.0)
+        a = lm.acquire("d1", 1)
+        assert lm.release("d1", a.token)
+        b = lm.acquire("d1", 2)
+        assert b.token == a.token + 1
+
+    def test_floor_from_wal_replay_fences_old_boots(self):
+        lm = LeaseManager(ttl=10.0, floor=42)
+        lease = lm.acquire("d1", 1)
+        assert lease.token == 42
+        # any token from before the floor (a previous daemon's grant)
+        # can never complete
+        assert not lm.release("d1", 41)
+        assert lm.release("d1", 42)
+
+    def test_double_acquire_is_a_bug(self):
+        lm = LeaseManager(ttl=10.0)
+        lm.acquire("d1", 1)
+        with pytest.raises(RuntimeError):
+            lm.acquire("d1", 2)
+
+    def test_renew_pushes_deadline_and_rejects_stale_token(self):
+        lm = LeaseManager(ttl=10.0)
+        lease = lm.acquire("d1", 1)
+        old_deadline = lease.deadline
+        assert lm.renew("d1", lease.token)
+        assert lm.holder("d1").deadline >= old_deadline
+        assert not lm.renew("d1", lease.token + 1)
+        assert not lm.renew("other", lease.token)
+
+    def test_release_fences_stale_and_absent_tokens(self):
+        lm = LeaseManager(ttl=10.0)
+        lease = lm.acquire("d1", 1)
+        assert not lm.release("d1", None)
+        assert not lm.release("d1", lease.token + 5)
+        assert lm.release("d1", lease.token)
+        # a second release of the same grant is late by definition
+        assert not lm.release("d1", lease.token)
+
+    def test_reclaim_expired_removes_only_stale_leases(self):
+        lm = LeaseManager(ttl=10.0)
+        a = lm.acquire("d1", 1)
+        lm.acquire("d2", 1)
+        a.deadline = 0.0  # force expiry without sleeping
+        dead = lm.reclaim_expired()
+        assert [l.digest for l in dead] == ["d1"]
+        assert len(lm) == 1
+        # the dead holder's token is now permanently fenced
+        assert not lm.release("d1", a.token)
+
+    def test_late_done_after_reacquire_is_fenced(self):
+        # the full stale-worker story: lease, reclaim, re-grant — then
+        # the original holder phones home
+        lm = LeaseManager(ttl=10.0)
+        first = lm.acquire("d1", 1)
+        first.deadline = 0.0
+        lm.reclaim_expired()
+        second = lm.acquire("d1", 2)
+        assert second.token > first.token
+        assert not lm.release("d1", first.token)  # late done: fenced
+        assert lm.release("d1", second.token)  # current holder: fine
+
+
+class TestDefaultTTL:
+    def test_ttl_is_three_heartbeats(self):
+        assert default_ttl(5.0) == STALE_BEATS * 5.0
+
+    def test_ttl_has_a_floor_against_tiny_intervals(self):
+        assert default_ttl(0.0) == STALE_BEATS * 0.1

@@ -1,0 +1,36 @@
+"""$REPRO_SIM_BATCH hardening: bad values warn once and fall back."""
+from repro.sim import interp
+
+
+def default_for(width, blocks):
+    return max(
+        1, min(interp._BATCH_CAP, interp._BATCH_LANES // max(width, 1), blocks)
+    )
+
+
+class TestBatchSizeEnv:
+    def test_valid_override_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_BATCH", "8")
+        assert interp._batch_size(32, 100) == 8
+
+    def test_override_clamped_to_blocks(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_BATCH", "500")
+        assert interp._batch_size(32, 7) == 7
+
+    def test_unset_uses_lane_budget(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_BATCH", raising=False)
+        assert interp._batch_size(32, 100) == default_for(32, 100)
+        assert interp._batch_size(4096, 100) == default_for(4096, 100)
+
+    def test_invalid_and_non_positive_fall_back(self, monkeypatch):
+        for bad in ("bogus", "0", "-4", "1.5"):
+            monkeypatch.setenv("REPRO_SIM_BATCH", bad)
+            assert interp._batch_size(32, 100) == default_for(32, 100)
+
+    def test_warns_once_per_value(self, monkeypatch, capsys):
+        interp._BATCH_ENV_WARNED.discard("-9")
+        monkeypatch.setenv("REPRO_SIM_BATCH", "-9")
+        assert interp._batch_size(32, 100) == default_for(32, 100)
+        assert "REPRO_SIM_BATCH" in capsys.readouterr().err
+        assert interp._batch_size(32, 100) == default_for(32, 100)
+        assert "REPRO_SIM_BATCH" not in capsys.readouterr().err
